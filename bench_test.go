@@ -1,0 +1,250 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation,
+// plus ablations for the design choices called out in DESIGN.md.
+//
+// One bench per experiment:
+//
+//	BenchmarkTable3_GenerationComplexity — Table 3 (generation counts, both models)
+//	BenchmarkTable5_NeuronFaults         — Table 5 (neuron-fault coverage, 4-layer)
+//	BenchmarkTable6_SynapseFaults        — Table 6 (synapse-fault coverage, 4-layer)
+//	BenchmarkRatio_TestLength            — the total-test-length ratio rows
+//	BenchmarkFigure4_TestEscape          — Fig. 4a (escape at σ = 10 % θ)
+//	BenchmarkFigure4_Overkill            — Fig. 4c (overkill at σ = 10 % θ)
+//
+// Ablations:
+//
+//	BenchmarkAblationQuantGranularity    — per-channel vs per-boundary 4-bit
+//	BenchmarkAblationIncrementalEngine   — incremental vs brute-force fault sim
+//	BenchmarkSimulatorForwardPass        — raw LIF sweep cost, paper model
+//
+// Run with: go test -bench=. -benchmem
+package neurotest_test
+
+import (
+	"testing"
+
+	"neurotest"
+	"neurotest/internal/fault"
+	"neurotest/internal/faultsim"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+	"neurotest/internal/variation"
+)
+
+// benchModel is the paper's 4-layer evaluation model; benches that would be
+// too slow per-iteration at full scale use a proportionally scaled model
+// and note it.
+func benchModel() *neurotest.Model { return neurotest.FourLayerModel() }
+
+func mustSuite(b *testing.B, m *neurotest.Model, regime neurotest.Regime) *neurotest.Suite {
+	b.Helper()
+	s, err := m.GenerateSuite(regime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable3_GenerationComplexity measures full-suite generation for
+// both paper models under both regimes — the cost behind Table 3's counts.
+func BenchmarkTable3_GenerationComplexity(b *testing.B) {
+	models := []*neurotest.Model{neurotest.FourLayerModel(), neurotest.FiveLayerModel()}
+	regimes := []neurotest.Regime{neurotest.NoVariation(), neurotest.NegligibleVariation()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			for _, r := range regimes {
+				s := mustSuite(b, m, r)
+				if s.TotalTestLength() == 0 {
+					b.Fatal("empty suite")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable5_NeuronFaults measures exhaustive neuron-fault simulation
+// (298 faults x 3 models) of the proposed suite on the 4-layer model — the
+// work behind Table 5's proposed coverage cells.
+func BenchmarkTable5_NeuronFaults(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []neurotest.FaultKind{neurotest.NASF, neurotest.ESF, neurotest.HSF} {
+			cov, err := m.MeasureCoverage(kind, suite.PerKind[kind], nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cov.Coverage() != 100 {
+				b.Fatalf("%v coverage %v", kind, cov)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6_SynapseFaults measures exhaustive synapse-fault
+// simulation (2 x 155,968 faults) of the proposed suite on the 4-layer
+// model — the work behind Table 6's proposed coverage cells.
+func BenchmarkTable6_SynapseFaults(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []neurotest.FaultKind{neurotest.SASF, neurotest.SWF} {
+			cov, err := m.MeasureCoverage(kind, suite.PerKind[kind], nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cov.Coverage() != 100 {
+				b.Fatalf("%v coverage %v", kind, cov)
+			}
+		}
+	}
+}
+
+// BenchmarkRatio_TestLength measures computing the total-test-length rows:
+// suite generation plus length accounting for the proposed method (baseline
+// campaign regeneration is benchmarked by its own package tests).
+func BenchmarkRatio_TestLength(b *testing.B) {
+	models := []*neurotest.Model{neurotest.FourLayerModel(), neurotest.FiveLayerModel()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, m := range models {
+			s := mustSuite(b, m, neurotest.NoVariation())
+			total += s.TotalTestLength()
+		}
+		// Paper totals: 1+3+6+1+3 = 14 (4-layer), 1+4+8+1+4 = 18 (5-layer).
+		if total != 14+18 {
+			b.Fatalf("total test length %d, want 32", total)
+		}
+	}
+}
+
+// BenchmarkFigure4_TestEscape measures one escape point of Fig. 4: 100
+// sampled faulty chips at σ = 10 % θ against the variation-aware suite on
+// the 4-layer model.
+func BenchmarkFigure4_TestEscape(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NegligibleVariation())
+	ate := tester.New(suite.Merged, nil)
+	faults := tester.SampleFaults(m.Arch, fault.Kinds(), 100, 7)
+	vary := variation.OfTheta(0.10, m.Params.Theta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if esc := ate.MeasureEscape(faults, m.Values, vary, 11); esc != 0 {
+			b.Fatalf("escape %g%% at 10%%θ", esc)
+		}
+	}
+}
+
+// BenchmarkFigure4_Overkill measures one overkill point of Fig. 4: 100 good
+// chips at σ = 10 % θ on the 4-layer model.
+func BenchmarkFigure4_Overkill(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NegligibleVariation())
+	ate := tester.New(suite.Merged, nil)
+	vary := variation.OfTheta(0.10, m.Params.Theta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ate.MeasureOverkill(100, vary, uint64(13+i))
+	}
+}
+
+// BenchmarkAblationQuantGranularity contrasts 4-bit per-channel (keeps
+// 100 % HSF coverage) with 4-bit per-boundary (loses it) — the scale-
+// granularity design choice from DESIGN.md.
+func BenchmarkAblationQuantGranularity(b *testing.B) {
+	m := neurotest.NewModel(128, 64, 24, 8)
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	perChannel := neurotest.NewQuantScheme(4, neurotest.PerChannel)
+	perBoundary := neurotest.NewQuantScheme(4, neurotest.PerBoundary)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		covC, err := m.MeasureCoverage(neurotest.HSF, suite.PerKind[neurotest.HSF], &perChannel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covB, err := m.MeasureCoverage(neurotest.HSF, suite.PerKind[neurotest.HSF], &perBoundary)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if covC.Coverage() != 100 || covB.Coverage() == 100 {
+			b.Fatalf("granularity ablation inverted: channel %v, boundary %v", covC, covB)
+		}
+	}
+}
+
+// BenchmarkAblationIncrementalEngine contrasts the incremental fault-
+// simulation engine with brute-force full re-simulation on the same
+// workload (all ESF faults of a scaled model) — the speedup that makes the
+// exhaustive synapse campaigns tractable.
+func BenchmarkAblationIncrementalEngine(b *testing.B) {
+	m := neurotest.NewModel(96, 48, 16, 8)
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	ts := suite.PerKind[neurotest.ESF]
+	universe := m.Universe(neurotest.ESF)
+
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := faultsim.New(ts, m.Values, nil)
+			if got := eng.Coverage(universe); got != len(universe) {
+				b.Fatalf("coverage %d/%d", got, len(universe))
+			}
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			detected := 0
+			for _, f := range universe {
+				if bruteForceDetects(ts, m.Values, f) {
+					detected++
+				}
+			}
+			if detected != len(universe) {
+				b.Fatalf("coverage %d/%d", detected, len(universe))
+			}
+		}
+	})
+}
+
+func bruteForceDetects(ts *neurotest.TestSet, values neurotest.FaultValues, f neurotest.Fault) bool {
+	for _, it := range ts.Items {
+		net := ts.Configs[it.ConfigIndex]
+		sim := snn.NewSimulator(net)
+		golden := sim.Run(it.Pattern, it.Timesteps, snn.ApplyOnce, nil)
+		faulty := sim.Run(it.Pattern, it.Timesteps, snn.ApplyOnce, f.Modifiers(values))
+		if !faulty.Equal(golden) {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkSimulatorForwardPass measures the raw cost of one full
+// time-stepped LIF sweep of the paper's 4-layer model with every input
+// asserted — the simulator primitive everything above is built on.
+func BenchmarkSimulatorForwardPass(b *testing.B) {
+	m := benchModel()
+	net := snn.New(m.Arch, m.Params)
+	net.Fill(m.Params.WMax)
+	sim := snn.NewSimulator(net)
+	p := snn.OnesPattern(m.Arch.Inputs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(p, 4, snn.ApplyOnce, nil)
+		if res.SpikeCounts[0] == 0 {
+			b.Fatal("saturated network silent")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Without flags it runs everything at full scale (can
+// take tens of minutes on one core); -quick scales the populations down to
+// a couple of minutes for smoke runs.
+//
+// Usage:
+//
+//	experiments [-quick] [-table 3|5|6|ratio] [-figure 4] [-model 4|5]
+//	            [-csv dir] [-seed N] [-v]
+//
+// With no selection flags, all tables and both figures are produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neurotest/internal/experiments"
+	"neurotest/internal/report"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "scaled-down populations for fast smoke runs")
+		table   = flag.String("table", "", "regenerate one table: 3, 5, 6 or ratio (default: all)")
+		figure  = flag.String("figure", "", "regenerate one figure: 4 (default: all)")
+		model   = flag.String("model", "", "restrict to one model: 4 or 5 (default: both)")
+		csvDir  = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed")
+		verbose = flag.Bool("v", false, "print per-campaign progress")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{}.Normalize()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	runner := experiments.NewRunner(cfg)
+	if *verbose {
+		runner.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  .. %s\n", s) }
+	}
+
+	arches := experiments.PaperArches()
+	switch *model {
+	case "4":
+		arches = arches[:1]
+	case "5":
+		arches = arches[1:]
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -model %q (want 4 or 5)\n", *model)
+		os.Exit(2)
+	}
+
+	wantTable := func(name string) bool {
+		return (*table == "" && *figure == "") || *table == name
+	}
+	wantFigure := func(name string) bool {
+		return (*table == "" && *figure == "") || *figure == name
+	}
+
+	start := time.Now()
+	if wantTable("3") {
+		runner.Table3().Render(os.Stdout)
+		fmt.Println()
+	}
+	if wantTable("5") {
+		for _, arch := range arches {
+			t, _ := runner.Table5(arch)
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if wantTable("6") {
+		for _, arch := range arches {
+			t, _ := runner.Table6(arch)
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if wantTable("ratio") {
+		runner.RatioTable().Render(os.Stdout)
+		fmt.Println()
+	}
+	if wantFigure("4") {
+		for _, arch := range arches {
+			escape, overkill := runner.Figure4(arch)
+			escape.RenderASCII(os.Stdout)
+			fmt.Println()
+			overkill.RenderASCII(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				writeCSV(*csvDir, fmt.Sprintf("fig4_escape_%s.csv", arch), escape)
+				writeCSV(*csvDir, fmt.Sprintf("fig4_overkill_%s.csv", arch), overkill)
+				writeSVG(*csvDir, fmt.Sprintf("fig4_escape_%s.svg", arch), escape)
+				writeSVG(*csvDir, fmt.Sprintf("fig4_overkill_%s.svg", arch), overkill)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func writeCSV(dir, name string, f *report.Figure) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", dir, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, name)
+	fh, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	f.RenderCSV(fh)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func writeSVG(dir, name string, f *report.Figure) {
+	path := filepath.Join(dir, name)
+	fh, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	f.RenderSVG(fh)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

@@ -1,0 +1,443 @@
+// Command neurotest is the user-facing CLI of the library: generate test
+// sets for a chip family, inspect them, store them (JSON or compact
+// binary), and measure their fault coverage.
+//
+// Usage:
+//
+//	neurotest generate -arch 576-256-32-10 [-kind SWF] [-variation-aware]
+//	                   [-o tests.bin] [-json]
+//	neurotest info     -i tests.bin [-json-in]
+//	neurotest coverage -arch 576-256-32-10 [-kind SWF] [-bits 8]
+//	                   [-variation-aware]
+//
+// Examples:
+//
+//	# Generate the full suite for the paper's 4-layer model and save it.
+//	neurotest generate -arch 576-256-32-10 -o tests.bin
+//
+//	# Measure SWF coverage under 4-bit per-channel quantization.
+//	neurotest coverage -arch 576-256-32-10 -kind SWF -bits 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"neurotest"
+	"neurotest/internal/diagnose"
+	"neurotest/internal/fault"
+	"neurotest/internal/margin"
+	"neurotest/internal/pattern"
+	"neurotest/internal/quant"
+	"neurotest/internal/snn"
+	"neurotest/internal/vcd"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "coverage":
+		err = cmdCoverage(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "margins":
+		err = cmdMargins(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `neurotest — algorithmic test generation for neuromorphic chips
+
+subcommands:
+  generate   generate test configurations and patterns for a chip family
+  info       summarize a stored test set
+  coverage   generate and fault-simulate, reporting fault coverage
+  diagnose   build a fault dictionary and diagnose an injected defect
+  margins    analyse variation tolerance of a generated test program
+  trace      dump a test item's simulation as a VCD waveform
+
+run "neurotest <subcommand> -h" for flags`)
+}
+
+func parseArch(s string) (neurotest.Arch, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -arch (e.g. 576-256-32-10)")
+	}
+	parts := strings.Split(s, "-")
+	arch := make(neurotest.Arch, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad layer width %q in -arch", p)
+		}
+		arch = append(arch, n)
+	}
+	return arch, arch.Validate()
+}
+
+func parseKind(s string) (neurotest.FaultKind, bool, error) {
+	if s == "" || strings.EqualFold(s, "all") {
+		return 0, true, nil
+	}
+	for _, k := range fault.Kinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, false, nil
+		}
+	}
+	return 0, false, fmt.Errorf("unknown fault kind %q (want NASF, ESF, HSF, SWF, SASF or all)", s)
+}
+
+func regimeOf(variationAware bool) neurotest.Regime {
+	if variationAware {
+		return neurotest.NegligibleVariation()
+	}
+	return neurotest.NoVariation()
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	archFlag := fs.String("arch", "576-256-32-10", "layer widths, dash separated")
+	kindFlag := fs.String("kind", "all", "fault model: NASF, ESF, HSF, SWF, SASF or all")
+	varAware := fs.Bool("variation-aware", false, "use the variation-tolerant Table 1/2 settings")
+	out := fs.String("o", "", "output file (default: summary to stdout only)")
+	asJSON := fs.Bool("json", false, "write JSON instead of compact binary")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	kind, all, err := parseKind(*kindFlag)
+	if err != nil {
+		return err
+	}
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(regimeOf(*varAware))
+	if err != nil {
+		return err
+	}
+	var ts *neurotest.TestSet
+	if all {
+		_, merged := g.GenerateAll()
+		ts = merged
+	} else {
+		ts = g.Generate(kind)
+	}
+	fmt.Printf("model %v: %d configurations, %d patterns, test length %d\n",
+		arch, ts.NumConfigs(), ts.NumPatterns(), ts.TestLength())
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *asJSON {
+		err = pattern.WriteJSON(f, ts)
+	} else {
+		err = pattern.WriteBinary(f, ts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input file")
+	asJSON := fs.Bool("json-in", false, "input is JSON instead of compact binary")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("missing -i")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ts *neurotest.TestSet
+	if *asJSON {
+		ts, err = pattern.ReadJSON(f)
+	} else {
+		ts, err = pattern.ReadBinary(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:            %s\n", ts.Name)
+	fmt.Printf("architecture:    %v (L=%d)\n", ts.Arch, ts.Arch.Layers())
+	fmt.Printf("θ / leak / ωmax: %g / %g / %g\n", ts.Params.Theta, ts.Params.Leak, ts.Params.WMax)
+	fmt.Printf("configurations:  %d\n", ts.NumConfigs())
+	fmt.Printf("patterns:        %d\n", ts.NumPatterns())
+	fmt.Printf("test length:     %d\n", ts.TestLength())
+	for i, it := range ts.Items {
+		fmt.Printf("  item %2d: cfg %2d, %2d inputs asserted, T=%d, repeat %d  %s\n",
+			i, it.ConfigIndex, it.Pattern.CountOnes(), it.Timesteps, it.Repeat, it.Label)
+	}
+	return nil
+}
+
+func cmdCoverage(args []string) error {
+	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
+	archFlag := fs.String("arch", "576-256-32-10", "layer widths, dash separated")
+	kindFlag := fs.String("kind", "all", "fault model or all")
+	varAware := fs.Bool("variation-aware", false, "use the variation-tolerant settings")
+	bits := fs.Int("bits", 0, "quantize configurations to this many bits (0 = ideal)")
+	gran := fs.String("granularity", "channel", "quantization granularity: network, boundary, channel")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	kind, all, err := parseKind(*kindFlag)
+	if err != nil {
+		return err
+	}
+	var scheme *neurotest.QuantScheme
+	if *bits > 0 {
+		var g quant.Granularity
+		switch *gran {
+		case "network":
+			g = quant.PerNetwork
+		case "boundary":
+			g = quant.PerBoundary
+		case "channel":
+			g = quant.PerChannel
+		default:
+			return fmt.Errorf("unknown granularity %q", *gran)
+		}
+		s := neurotest.NewQuantScheme(*bits, g)
+		scheme = &s
+	}
+
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(regimeOf(*varAware))
+	if err != nil {
+		return err
+	}
+	kinds := fault.Kinds()
+	if !all {
+		kinds = []neurotest.FaultKind{kind}
+	}
+	for _, k := range kinds {
+		ts := g.Generate(k)
+		cov, err := m.MeasureCoverage(k, ts, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5v %d configs, %d patterns: coverage %v\n", k, ts.NumConfigs(), ts.NumPatterns(), cov)
+		for i, f := range cov.Undetected {
+			if i >= 5 {
+				fmt.Printf("      ... and %d more undetected\n", len(cov.Undetected)-5)
+				break
+			}
+			fmt.Printf("      undetected: %v\n", f)
+		}
+	}
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	archFlag := fs.String("arch", "96-48-16-8", "layer widths, dash separated")
+	inject := fs.String("inject", "", `defect to inject, e.g. "HSF:2,5" (kind:layer,index; 1-based, paper style) or "SWF:1,3,4" (kind:boundary,pre,post)`)
+	maxCandidates := fs.Int("max-candidates", 10, "how many candidate faults to print")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(neurotest.NoVariation())
+	if err != nil {
+		return err
+	}
+	_, merged := g.GenerateAll()
+
+	var universe []neurotest.Fault
+	for _, k := range fault.Kinds() {
+		universe = append(universe, fault.Universe(arch, k)...)
+	}
+	fmt.Printf("building dictionary: %d faults x %d items ...\n", len(universe), len(merged.Items))
+	dict := diagnose.Build(merged, m.Values, nil, universe)
+	fmt.Println(dict)
+
+	if *inject == "" {
+		return nil
+	}
+	f, err := parseFault(*inject, arch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ninjecting %v and testing the die ...\n", f)
+	sig := diagnose.ObserveChip(merged, nil, f.Modifiers(m.Values))
+	fmt.Printf("observed signature: %s (%d failing items)\n", sig, sig.CountFails())
+	candidates := dict.Lookup(sig)
+	if candidates == nil {
+		fmt.Println("no dictionary match: unmodelled defect")
+		return nil
+	}
+	cand := append([]neurotest.Fault(nil), candidates...)
+	diagnose.SortFaults(cand)
+	fmt.Printf("diagnosis: %d candidate fault(s)\n", len(cand))
+	for i, c := range cand {
+		if i >= *maxCandidates {
+			fmt.Printf("  ... and %d more\n", len(cand)-*maxCandidates)
+			break
+		}
+		marker := ""
+		if c == f {
+			marker = "   <== injected defect"
+		}
+		fmt.Printf("  %v%s\n", c, marker)
+	}
+	return nil
+}
+
+// parseFault parses "KIND:a,b" (neuron: layer,index) or "KIND:a,b,c"
+// (synapse: boundary,pre,post), all 1-based as printed by the tools.
+func parseFault(s string, arch neurotest.Arch) (neurotest.Fault, error) {
+	var zero neurotest.Fault
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return zero, fmt.Errorf("bad fault %q (want KIND:indices)", s)
+	}
+	kind, all, err := parseKind(parts[0])
+	if err != nil || all {
+		return zero, fmt.Errorf("bad fault kind %q", parts[0])
+	}
+	var idx []int
+	for _, p := range strings.Split(parts[1], ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return zero, fmt.Errorf("bad index %q in %q", p, s)
+		}
+		idx = append(idx, n-1) // 1-based on the CLI, 0-based internally
+	}
+	if kind.IsNeuronFault() {
+		if len(idx) != 2 {
+			return zero, fmt.Errorf("%v needs layer,index", kind)
+		}
+		if idx[0] < 1 || idx[0] >= arch.Layers() || idx[1] < 0 || idx[1] >= arch[idx[0]] {
+			return zero, fmt.Errorf("neuron (%d,%d) outside %v (input neurons have no faults)", idx[0]+1, idx[1]+1, arch)
+		}
+		return fault.NewNeuronFault(kind, neurotest.NeuronID{Layer: idx[0], Index: idx[1]}), nil
+	}
+	if len(idx) != 3 {
+		return zero, fmt.Errorf("%v needs boundary,pre,post", kind)
+	}
+	if idx[0] < 0 || idx[0] >= arch.Boundaries() || idx[1] < 0 || idx[1] >= arch[idx[0]] || idx[2] < 0 || idx[2] >= arch[idx[0]+1] {
+		return zero, fmt.Errorf("synapse (%d,%d,%d) outside %v", idx[0]+1, idx[1]+1, idx[2]+1, arch)
+	}
+	return fault.NewSynapseFault(kind, neurotest.SynapseID{Boundary: idx[0], Pre: idx[1], Post: idx[2]}), nil
+}
+
+func cmdMargins(args []string) error {
+	fs := flag.NewFlagSet("margins", flag.ExitOnError)
+	archFlag := fs.String("arch", "576-256-32-10", "layer widths, dash separated")
+	varAware := fs.Bool("variation-aware", true, "analyse the variation-tolerant program")
+	confidence := fs.Float64("confidence", 3, "sigma multiplier c of Eq. 4")
+	worst := fs.Int("worst", 8, "how many binding decisions to list")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(regimeOf(*varAware))
+	if err != nil {
+		return err
+	}
+	_, merged := g.GenerateAll()
+	rep := margin.Analyze(merged, *confidence, *worst)
+	fmt.Printf("program: %d items on %v (%s)\n", merged.NumPatterns(), arch, map[bool]string{true: "variation-aware", false: "no-variation"}[*varAware])
+	fmt.Printf("analytic tolerance: σ ≤ %.4f (= %.1f%% of θ) at %.1fσ confidence\n",
+		rep.SigmaTolerance, 100*rep.SigmaTolerance/m.Params.Theta, rep.Confidence)
+	fmt.Println("binding decisions (ascending tolerance):")
+	for _, nm := range rep.Worst {
+		fmt.Printf("  %v  [%s]\n", nm, merged.Items[nm.Item].Label)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	archFlag := fs.String("arch", "8-6-4", "layer widths, dash separated")
+	item := fs.Int("item", 0, "which test item of the merged program to trace")
+	inject := fs.String("inject", "", `optional defect, e.g. "HSF:2,5" or "SWF:1,3,4"`)
+	charge := fs.Bool("charge", true, "also dump weighted input sums as real signals")
+	out := fs.String("o", "", "output VCD file (default stdout)")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(neurotest.NoVariation())
+	if err != nil {
+		return err
+	}
+	_, merged := g.GenerateAll()
+	if *item < 0 || *item >= len(merged.Items) {
+		return fmt.Errorf("item %d out of [0,%d)", *item, len(merged.Items))
+	}
+	it := merged.Items[*item]
+
+	var mods *neurotest.Modifiers
+	if *inject != "" {
+		f, err := parseFault(*inject, arch)
+		if err != nil {
+			return err
+		}
+		mods = f.Modifiers(m.Values)
+	}
+	sim := snn.NewSimulator(merged.Configs[it.ConfigIndex])
+	_, trace := sim.RunTrace(it.Pattern, it.Timesteps, snn.ApplyOnce, mods)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if err := vcd.Write(w, arch, trace, vcd.Options{DumpCharge: *charge}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "traced item %d (%s)%s\n", *item, it.Label,
+		map[bool]string{true: " with injected defect", false: ""}[mods != nil])
+	return nil
+}

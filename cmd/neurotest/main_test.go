@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary into a temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI end-to-end test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "neurotest")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	tests := filepath.Join(dir, "tests.bin")
+
+	// generate → file
+	out, err := run(t, bin, "generate", "-arch", "12-8-4", "-o", tests)
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "9 configurations") {
+		t.Errorf("generate output: %s", out)
+	}
+
+	// info ← file
+	out, err = run(t, bin, "info", "-i", tests)
+	if err != nil {
+		t.Fatalf("info: %v\n%s", err, out)
+	}
+	for _, want := range []string{"architecture:    12-8-4", "configurations:  9", "NASF all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info missing %q:\n%s", want, out)
+		}
+	}
+
+	// coverage (single kind, quantized)
+	out, err = run(t, bin, "coverage", "-arch", "12-8-4", "-kind", "SWF", "-bits", "4")
+	if err != nil {
+		t.Fatalf("coverage: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "100.00%") {
+		t.Errorf("coverage output: %s", out)
+	}
+
+	// diagnose with an injected defect
+	out, err = run(t, bin, "diagnose", "-arch", "12-8-4", "-inject", "HSF:2,3")
+	if err != nil {
+		t.Fatalf("diagnose: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "<== injected defect") {
+		t.Errorf("diagnosis did not locate the defect:\n%s", out)
+	}
+
+	// margins
+	out, err = run(t, bin, "margins", "-arch", "12-8-4")
+	if err != nil {
+		t.Fatalf("margins: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "σ ≤ 0.0750") {
+		t.Errorf("margins output: %s", out)
+	}
+
+	// trace → VCD
+	vcdPath := filepath.Join(dir, "item.vcd")
+	out, err = run(t, bin, "trace", "-arch", "12-8-4", "-item", "1", "-o", vcdPath)
+	if err != nil {
+		t.Fatalf("trace: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions $end") {
+		t.Errorf("VCD file malformed")
+	}
+
+	// error paths exit non-zero
+	if _, err := run(t, bin, "generate", "-arch", "bogus"); err == nil {
+		t.Errorf("bad arch accepted")
+	}
+	if _, err := run(t, bin, "nonsense"); err == nil {
+		t.Errorf("unknown subcommand accepted")
+	}
+}

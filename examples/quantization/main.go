@@ -1,0 +1,74 @@
+// Quantization study: how narrow can the chip's weight memory get before
+// the generated tests stop working — and how much the quantizer's scale
+// granularity matters.
+//
+// Reproduces the paper's Section 5.2 claim that test effectiveness is
+// maintained even with 4-bit weight quantization, and shows the mechanism:
+// generated configurations use at most six weight levels, and per-channel
+// scale calibration keeps every level exactly representable. With one
+// shared scale per boundary, 4-bit HSF tests break — the 0.725 activation
+// level collides with the ±ωmax saturation levels on a 15-level grid.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurotest"
+)
+
+func main() {
+	model := neurotest.NewModel(256, 128, 32, 10)
+	suite, err := model.GenerateSuite(neurotest.NoVariation())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := []neurotest.FaultKind{
+		neurotest.NASF, neurotest.ESF, neurotest.HSF, neurotest.SWF, neurotest.SASF,
+	}
+
+	fmt.Printf("model %v — coverage under weight-memory quantization\n\n", model.Arch)
+	fmt.Println("bits  granularity   NASF     ESF      HSF      SWF      SASF")
+
+	type cfg struct {
+		bits int
+		gran string
+	}
+	cases := []cfg{
+		{8, "channel"}, {8, "boundary"}, {8, "network"},
+		{4, "channel"}, {4, "boundary"},
+		{3, "channel"},
+	}
+	for _, c := range cases {
+		var scheme neurotest.QuantScheme
+		switch c.gran {
+		case "channel":
+			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerChannel)
+		case "boundary":
+			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerBoundary)
+		case "network":
+			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerNetwork)
+		}
+		fmt.Printf("%4d  %-12s", c.bits, c.gran)
+		for _, kind := range kinds {
+			cov, err := model.MeasureCoverage(kind, suite.PerKind[kind], &scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %6.2f%%", cov.Coverage())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println(`
+Reading the table:
+  * 8-bit works at every granularity (the paper's Tables 5/6 rows).
+  * 4-bit per-channel still reaches 100 % — the six generated weight levels
+    are exact on per-channel max-abs grids (the paper's 4-bit claim).
+  * 4-bit per-boundary loses HSF: the (θ+θ̂)/2 = 0.725 activation level
+    shares a 15-level grid with ±ωmax and snaps to 10/7 ≈ 1.43 > θ̂.
+  * even 3-bit per-channel keeps 100 %: each generated column carries at
+    most two distinct magnitudes, so the scale granularity — not the bit
+    width — is what decides test survival.`)
+}

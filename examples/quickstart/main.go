@@ -1,0 +1,42 @@
+// Quickstart: generate the paper's test suite for the 4-layer evaluation
+// model, fault-simulate the full fault universes, and print coverage — the
+// library's headline result (100 % coverage with O(L) configurations and
+// patterns) in under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurotest"
+)
+
+func main() {
+	// The paper's 4-layer model: 576-256-32-10 (Table 4), θ = 0.5,
+	// ωmax = 20θ, ESF θ̂ = 0.1θ, HSF θ̂ = 1.9θ, ω̂ = 2θ (Section 5.1).
+	model := neurotest.FourLayerModel()
+
+	// Generate the test suite with the no-variation settings (Table 1/2
+	// "No" columns) — one configuration+pattern per covering group.
+	suite, err := model.GenerateSuite(neurotest.NoVariation())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model %v\n\n", model.Arch)
+	fmt.Println("kind  configs  patterns  test-length  coverage")
+	for _, kind := range []neurotest.FaultKind{
+		neurotest.NASF, neurotest.ESF, neurotest.HSF, neurotest.SWF, neurotest.SASF,
+	} {
+		ts := suite.PerKind[kind]
+		cov, err := model.MeasureCoverage(kind, ts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v %7d  %8d  %11d  %v\n",
+			kind, ts.NumConfigs(), ts.NumPatterns(), ts.TestLength(), cov)
+	}
+
+	fmt.Printf("\ntotal test length: %d patterns applied once each\n", suite.TotalTestLength())
+	fmt.Println("(the statistical baselines of the paper need 10^5..10^6; see cmd/experiments)")
+}

@@ -1,0 +1,3 @@
+module neurotest
+
+go 1.22

@@ -1,0 +1,143 @@
+package apptest
+
+import (
+	"testing"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+)
+
+func trainedClassifier(t *testing.T) (*Classifier, *Dataset, *Dataset) {
+	t.Helper()
+	ds := Synthetic(24, 3, 30, 0.4, 0.05, 7)
+	train, test := ds.Split(0.7, 8)
+	cl, err := Train(train, TrainOptions{
+		Arch:   snn.Arch{24, 16, 3},
+		Params: snn.DefaultParams(),
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, train, test
+}
+
+func TestSyntheticDatasetShape(t *testing.T) {
+	ds := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	if ds.Inputs != 10 || ds.Classes != 4 || len(ds.Samples) != 20 {
+		t.Fatalf("shape: %+v", ds)
+	}
+	perClass := map[int]int{}
+	for _, s := range ds.Samples {
+		if len(s.Input) != 10 {
+			t.Fatalf("sample width %d", len(s.Input))
+		}
+		perClass[s.Label]++
+	}
+	for c := 0; c < 4; c++ {
+		if perClass[c] != 5 {
+			t.Errorf("class %d has %d samples", c, perClass[c])
+		}
+	}
+	// Determinism.
+	ds2 := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	for i := range ds.Samples {
+		for j := range ds.Samples[i].Input {
+			if ds.Samples[i].Input[j] != ds2.Samples[i].Input[j] {
+				t.Fatalf("dataset not deterministic")
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := Synthetic(8, 2, 20, 0.5, 0.1, 2)
+	train, test := ds.Split(0.75, 3)
+	if len(train.Samples) != 30 || len(test.Samples) != 10 {
+		t.Fatalf("split sizes %d/%d", len(train.Samples), len(test.Samples))
+	}
+}
+
+func TestTrainingLearnsAboveChance(t *testing.T) {
+	cl, train, test := trainedClassifier(t)
+	trainAcc := cl.Accuracy(train)
+	testAcc := cl.Accuracy(test)
+	// Chance is 1/3; prototype datasets with 5% flip noise should be
+	// comfortably learnable by the reservoir + perceptron combination.
+	if trainAcc < 0.8 {
+		t.Errorf("train accuracy %.2f below 0.8", trainAcc)
+	}
+	if testAcc < 0.7 {
+		t.Errorf("test accuracy %.2f below 0.7", testAcc)
+	}
+}
+
+func TestTrainRejectsBadShapes(t *testing.T) {
+	ds := Synthetic(8, 2, 4, 0.5, 0.1, 1)
+	if _, err := Train(ds, TrainOptions{Arch: snn.Arch{9, 4, 2}, Params: snn.DefaultParams()}); err == nil {
+		t.Errorf("input mismatch accepted")
+	}
+	if _, err := Train(ds, TrainOptions{Arch: snn.Arch{8, 4, 3}, Params: snn.DefaultParams()}); err == nil {
+		t.Errorf("class mismatch accepted")
+	}
+	if _, err := Train(ds, TrainOptions{Arch: snn.Arch{8}, Params: snn.DefaultParams()}); err == nil {
+		t.Errorf("bad arch accepted")
+	}
+}
+
+// TestFunctionalCoverageBelowStructural reproduces the paper's motivating
+// observation: application-dependent screening misses faults that the
+// deterministic application-independent method catches, and the escapees
+// barely dent application accuracy.
+func TestFunctionalCoverageBelowStructural(t *testing.T) {
+	cl, _, test := trainedClassifier(t)
+	values := fault.PaperValues(cl.Net.Params.Theta)
+	arch := cl.Net.Arch
+
+	var faults []fault.Fault
+	for _, k := range fault.Kinds() {
+		faults = append(faults, tester.SampleFaults(arch, []fault.Kind{k}, 80, 5)...)
+	}
+
+	res := cl.FunctionalScreen(test, faults, values)
+	if res.Total != len(faults) {
+		t.Fatalf("screened %d/%d", res.Total, len(faults))
+	}
+	if res.Coverage() >= 100 {
+		t.Fatalf("functional screening claims full coverage — the motivation experiment is broken")
+	}
+	if res.Coverage() <= 0 {
+		t.Fatalf("functional screening detects nothing")
+	}
+	// Escaped faults leave the application essentially intact.
+	for _, acc := range res.UndetectedAccuracy {
+		if acc < 0.5 {
+			t.Errorf("an escaped fault degraded accuracy to %.2f — it should have been detected", acc)
+		}
+	}
+}
+
+func TestPredictMatchesAccuracyPath(t *testing.T) {
+	cl, _, test := trainedClassifier(t)
+	ok := 0
+	for _, s := range test.Samples {
+		if cl.Predict(cl.Net, s.Input, nil) == s.Label {
+			ok++
+		}
+	}
+	want := cl.Accuracy(test)
+	got := float64(ok) / float64(len(test.Samples))
+	if got != want {
+		t.Errorf("Predict path accuracy %.3f != Accuracy %.3f", got, want)
+	}
+}
+
+func TestSyntheticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Synthetic(0, 2, 3, 0.5, 0.1, 1)
+}

@@ -1,0 +1,239 @@
+// Package chip models the device under test: a configurable neuromorphic
+// chip in the TrueNorth/Loihi mould. Layer boundaries are mapped onto a grid
+// of neurosynaptic cores; each core holds a crossbar of synaptic weights
+// stored as signed integer codes with per-output-channel scale registers
+// (the digital twin of a quantized weight memory).
+//
+// Programming a chip quantizes the requested configuration into the codes
+// the memory can hold and — when a variation model is attached — perturbs
+// the stored analog weights the way memristive devices do. Reading the chip
+// back therefore yields the *effective* weights, which is what the
+// behavioural simulation runs on: quantization and variation errors enter
+// exactly where they enter on silicon.
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+	"neurotest/internal/variation"
+)
+
+// CoreShape is the maximum crossbar geometry of one neurosynaptic core.
+// TrueNorth cores are 256x256; we default to the same.
+type CoreShape struct {
+	Axons   int // presynaptic rows
+	Neurons int // postsynaptic columns
+}
+
+// DefaultCoreShape matches a 256x256 TrueNorth-style core.
+func DefaultCoreShape() CoreShape { return CoreShape{Axons: 256, Neurons: 256} }
+
+// Core is one crossbar tile covering a rectangular region of a boundary's
+// weight matrix.
+type Core struct {
+	Boundary  int // which layer boundary the core serves
+	AxonOff   int // first presynaptic neuron covered
+	NeuronOff int // first postsynaptic neuron covered
+	Axons     int // rows actually used
+	Neurons   int // columns actually used
+
+	// codes are the programmed integer weight codes, row-major
+	// [axon*Neurons+neuron].
+	codes []int32
+	// scales holds one scale register per covered output channel; the
+	// effective weight is codes[a*Neurons+n] * scales[n].
+	scales []float64
+	// analog is the post-variation stored weight. Without variation it
+	// equals codes*scales exactly.
+	analog []float64
+}
+
+// Config describes the chip build: geometry and weight-memory precision.
+type Config struct {
+	Arch   snn.Arch
+	Params snn.Params
+	Core   CoreShape
+	// WeightBits is the signed weight-code width of the crossbar memory.
+	WeightBits int
+	// Variation, when non-zero, perturbs stored weights at programming
+	// time (memristive write noise).
+	Variation variation.Model
+}
+
+// Chip is one instantiated device.
+type Chip struct {
+	cfg        Config
+	cores      []*Core
+	programmed bool
+	rng        *stats.RNG
+}
+
+// New builds a chip. It panics on invalid geometry or precision — these are
+// construction-time errors in test harnesses, not runtime conditions.
+func New(cfg Config, seed uint64) *Chip {
+	if err := cfg.Arch.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Core.Axons <= 0 || cfg.Core.Neurons <= 0 {
+		panic(fmt.Sprintf("chip: invalid core shape %+v", cfg.Core))
+	}
+	if cfg.WeightBits < 2 || cfg.WeightBits > 16 {
+		panic(fmt.Sprintf("chip: weight memory width %d out of [2,16]", cfg.WeightBits))
+	}
+	c := &Chip{cfg: cfg, rng: stats.NewRNG(seed)}
+	for b := 0; b < cfg.Arch.Boundaries(); b++ {
+		nIn, nOut := cfg.Arch[b], cfg.Arch[b+1]
+		for a0 := 0; a0 < nIn; a0 += cfg.Core.Axons {
+			rows := min(cfg.Core.Axons, nIn-a0)
+			for n0 := 0; n0 < nOut; n0 += cfg.Core.Neurons {
+				cols := min(cfg.Core.Neurons, nOut-n0)
+				c.cores = append(c.cores, &Core{
+					Boundary:  b,
+					AxonOff:   a0,
+					NeuronOff: n0,
+					Axons:     rows,
+					Neurons:   cols,
+					codes:     make([]int32, rows*cols),
+					scales:    make([]float64, cols),
+					analog:    make([]float64, rows*cols),
+				})
+			}
+		}
+	}
+	return c
+}
+
+// NumCores returns how many crossbar cores the chip instantiates.
+func (c *Chip) NumCores() int { return len(c.cores) }
+
+// Cores returns the cores serving one boundary.
+func (c *Chip) Cores(boundary int) []*Core {
+	var out []*Core
+	for _, core := range c.cores {
+		if core.Boundary == boundary {
+			out = append(out, core)
+		}
+	}
+	return out
+}
+
+// Config returns the chip's build description.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Programmed reports whether the chip holds a configuration.
+func (c *Chip) Programmed() bool { return c.programmed }
+
+// maxCode is the largest positive weight code.
+func (c *Chip) maxCode() float64 {
+	return float64(int32(1)<<uint(c.cfg.WeightBits-1) - 1)
+}
+
+// Program writes the configuration net into the weight memories. Scales are
+// calibrated per output channel from the configuration itself (max-abs), so
+// the six weight levels of generated test configurations survive even narrow
+// memories. Stored analog weights are then perturbed by the chip's
+// variation model. Program may be called repeatedly (reconfiguration).
+func (c *Chip) Program(net *snn.Network) error {
+	if !net.Arch.Equal(c.cfg.Arch) {
+		return fmt.Errorf("chip: configuration architecture %v does not fit chip %v", net.Arch, c.cfg.Arch)
+	}
+	half := c.maxCode()
+	for _, core := range c.cores {
+		nOut := c.cfg.Arch[core.Boundary+1]
+		w := net.W[core.Boundary]
+		// Per-channel scale calibration over the FULL column, so that
+		// every core covering the same output channel agrees on scale
+		// (a single scale register per neuron circuit).
+		for n := 0; n < core.Neurons; n++ {
+			col := core.NeuronOff + n
+			maxAbs := 0.0
+			for i := 0; i < c.cfg.Arch[core.Boundary]; i++ {
+				if a := math.Abs(w[i*nOut+col]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				core.scales[n] = 0
+			} else {
+				core.scales[n] = maxAbs / half
+			}
+		}
+		for a := 0; a < core.Axons; a++ {
+			for n := 0; n < core.Neurons; n++ {
+				want := w[(core.AxonOff+a)*nOut+(core.NeuronOff+n)]
+				var code int32
+				if s := core.scales[n]; s > 0 {
+					lv := math.Round(want / s)
+					if lv > half {
+						lv = half
+					} else if lv < -half {
+						lv = -half
+					}
+					code = int32(lv)
+				}
+				core.codes[a*core.Neurons+n] = code
+				stored := float64(code) * core.scales[n]
+				core.analog[a*core.Neurons+n] = stored
+			}
+		}
+	}
+	// Memristive write noise on the stored analog weights.
+	if !c.cfg.Variation.Zero() {
+		lo, hi := c.cfg.Params.WMin(), c.cfg.Params.WMax
+		for _, core := range c.cores {
+			for i := range core.analog {
+				v := core.analog[i] + c.cfg.Variation.Sigma*c.rng.NormFloat64()
+				if v < lo {
+					v = lo
+				} else if v > hi {
+					v = hi
+				}
+				core.analog[i] = v
+			}
+		}
+	}
+	c.programmed = true
+	return nil
+}
+
+// EffectiveNetwork reads back the weights the chip actually holds
+// (quantized and, if configured, varied) as a simulatable network.
+func (c *Chip) EffectiveNetwork() (*snn.Network, error) {
+	if !c.programmed {
+		return nil, fmt.Errorf("chip: not programmed")
+	}
+	net := snn.New(c.cfg.Arch, c.cfg.Params)
+	for _, core := range c.cores {
+		nOut := c.cfg.Arch[core.Boundary+1]
+		for a := 0; a < core.Axons; a++ {
+			for n := 0; n < core.Neurons; n++ {
+				net.W[core.Boundary][(core.AxonOff+a)*nOut+(core.NeuronOff+n)] = core.analog[a*core.Neurons+n]
+			}
+		}
+	}
+	return net, nil
+}
+
+// Apply runs one test pattern on the chip and returns the observable output.
+// mods injects physical defects (faults); nil means a defect-free die.
+func (c *Chip) Apply(p snn.Pattern, timesteps int, mods *snn.Modifiers) (snn.Result, error) {
+	net, err := c.EffectiveNetwork()
+	if err != nil {
+		return snn.Result{}, err
+	}
+	sim := snn.NewSimulator(net)
+	return sim.Run(p, timesteps, snn.ApplyOnce, mods), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,279 @@
+package chip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+	"neurotest/internal/variation"
+)
+
+func testConfig() Config {
+	return Config{
+		Arch:       snn.Arch{576, 256, 32, 10},
+		Params:     snn.DefaultParams(),
+		Core:       DefaultCoreShape(),
+		WeightBits: 8,
+	}
+}
+
+func TestCoreTiling(t *testing.T) {
+	c := New(testConfig(), 1)
+	// Boundary 0: 576x256 → 3x1 cores of 256x256. Boundary 1: 256x32 → 1.
+	// Boundary 2: 32x10 → 1. Total 5.
+	if got := c.NumCores(); got != 5 {
+		t.Errorf("NumCores = %d, want 5", got)
+	}
+	if got := len(c.Cores(0)); got != 3 {
+		t.Errorf("boundary 0 has %d cores, want 3", got)
+	}
+	covered := 0
+	for _, core := range c.Cores(0) {
+		covered += core.Axons * core.Neurons
+	}
+	if covered != 576*256 {
+		t.Errorf("boundary 0 cores cover %d synapses, want %d", covered, 576*256)
+	}
+}
+
+func TestCoreTilingPartial(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{300, 300, 5}
+	c := New(cfg, 1)
+	// 300x300 → 2x2 cores (256+44 each way); 300x5 → 2x1.
+	if got := len(c.Cores(0)); got != 4 {
+		t.Errorf("boundary 0 cores = %d, want 4", got)
+	}
+	if got := len(c.Cores(1)); got != 2 {
+		t.Errorf("boundary 1 cores = %d, want 2", got)
+	}
+	for _, core := range c.Cores(0) {
+		if core.Axons <= 0 || core.Neurons <= 0 {
+			t.Errorf("degenerate core %+v", core)
+		}
+	}
+}
+
+func TestProgramReadbackIdealLevels(t *testing.T) {
+	// The six weight levels of generated configurations must survive
+	// program/readback exactly (per-channel scale calibration).
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{4, 3, 2}
+	c := New(cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.SetColumn(0, 0, 10)
+	net.SetColumn(0, 1, -10)
+	net.SetEntry(0, 0, 2, 0.275)
+	net.FillBoundary(1, 5)
+	if err := c.Program(net); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	got, err := c.EffectiveNetwork()
+	if err != nil {
+		t.Fatalf("EffectiveNetwork: %v", err)
+	}
+	for b := range net.W {
+		for i, want := range net.W[b] {
+			if math.Abs(got.W[b][i]-want) > 1e-9 {
+				t.Errorf("boundary %d weight %d: %g, want %g", b, i, got.W[b][i], want)
+			}
+		}
+	}
+}
+
+func TestProgramArchMismatch(t *testing.T) {
+	c := New(testConfig(), 1)
+	net := snn.New(snn.Arch{3, 2}, snn.DefaultParams())
+	if err := c.Program(net); err == nil {
+		t.Errorf("foreign architecture accepted")
+	}
+}
+
+func TestUnprogrammedChip(t *testing.T) {
+	c := New(testConfig(), 1)
+	if c.Programmed() {
+		t.Errorf("fresh chip claims programmed")
+	}
+	if _, err := c.EffectiveNetwork(); err == nil {
+		t.Errorf("readback of unprogrammed chip succeeded")
+	}
+	if _, err := c.Apply(snn.NewPattern(576), 4, nil); err == nil {
+		t.Errorf("apply to unprogrammed chip succeeded")
+	}
+}
+
+func TestQuantizationGranularityIsPerChannel(t *testing.T) {
+	// Two columns with very different magnitudes must quantize on
+	// independent grids: the small-magnitude column keeps its precision.
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{2, 2}
+	cfg.WeightBits = 4
+	c := New(cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.SetEntry(0, 0, 0, 0.275)
+	net.SetEntry(0, 1, 1, -10)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.EffectiveNetwork()
+	if math.Abs(got.Entry(0, 0, 0)-0.275) > 1e-9 {
+		t.Errorf("column 0 lost precision: %g", got.Entry(0, 0, 0))
+	}
+	if math.Abs(got.Entry(0, 1, 1)+10) > 1e-9 {
+		t.Errorf("column 1 lost its max: %g", got.Entry(0, 1, 1))
+	}
+}
+
+func TestProgramWithVariation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{50, 50}
+	cfg.Variation = variation.Model{Sigma: 0.1}
+	c := New(cfg, 77)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.Fill(5)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.EffectiveNetwork()
+	var xs []float64
+	for _, w := range got.W[0] {
+		xs = append(xs, w)
+	}
+	if m := stats.Mean(xs); math.Abs(m-5) > 0.02 {
+		t.Errorf("varied mean = %g", m)
+	}
+	if sd := stats.StdDev(xs); math.Abs(sd-0.1) > 0.02 {
+		t.Errorf("varied stddev = %g", sd)
+	}
+	// Reprogramming draws fresh noise.
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := c.EffectiveNetwork()
+	same := true
+	for i := range got.W[0] {
+		if got.W[0][i] != got2.W[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("reprogramming reused identical noise")
+	}
+}
+
+func TestVariationClampsToPhysicalRange(t *testing.T) {
+	// Unlike the behavioural CUT model, the physical chip cannot store
+	// weights beyond its range.
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{50, 50}
+	cfg.Variation = variation.Model{Sigma: 2}
+	c := New(cfg, 3)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.Fill(10)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.EffectiveNetwork()
+	for _, w := range got.W[0] {
+		if w > 10 || w < -10 {
+			t.Fatalf("stored weight %g outside physical range", w)
+		}
+	}
+}
+
+func TestApplyEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{2, 2, 1}
+	c := New(cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.SetEntry(0, 0, 0, 1)
+	net.SetEntry(1, 0, 0, 1)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Apply(snn.Pattern{true, false}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpikeCounts[0] != 1 {
+		t.Errorf("output = %v, want [1]", res.SpikeCounts)
+	}
+	// Inject a NASF through the chip's test interface.
+	mods := &snn.Modifiers{ForceSpike: map[snn.NeuronID]bool{{Layer: 1, Index: 1}: true}}
+	res, err = c.Apply(snn.NewPattern(2), 3, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forced neuron has zero outgoing weight, so the output is silent.
+	if res.SpikeCounts[0] != 0 {
+		t.Errorf("output = %v, want [0]", res.SpikeCounts)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	assertPanics(t, "bad arch", func() {
+		New(Config{Arch: snn.Arch{1}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 8}, 1)
+	})
+	assertPanics(t, "bad core", func() {
+		New(Config{Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: CoreShape{}, WeightBits: 8}, 1)
+	})
+	assertPanics(t, "bad bits", func() {
+		New(Config{Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 1}, 1)
+	})
+}
+
+func TestReadbackMatchesQuantizerQuick(t *testing.T) {
+	// Property: program/readback error never exceeds half a per-channel
+	// step, for random weights.
+	f := func(seed uint64) bool {
+		cfg := testConfig()
+		cfg.Arch = snn.Arch{6, 5}
+		c := New(cfg, 1)
+		net := snn.New(cfg.Arch, cfg.Params)
+		rng := stats.NewRNG(seed)
+		for b := range net.W {
+			for i := range net.W[b] {
+				net.W[b][i] = -10 + 20*rng.Float64()
+			}
+		}
+		if err := c.Program(net); err != nil {
+			return false
+		}
+		got, err := c.EffectiveNetwork()
+		if err != nil {
+			return false
+		}
+		nOut := cfg.Arch[1]
+		for j := 0; j < nOut; j++ {
+			maxAbs := 0.0
+			for i := 0; i < cfg.Arch[0]; i++ {
+				if a := math.Abs(net.W[0][i*nOut+j]); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			halfStep := maxAbs / 127 / 2
+			for i := 0; i < cfg.Arch[0]; i++ {
+				if math.Abs(got.W[0][i*nOut+j]-net.W[0][i*nOut+j]) > halfStep+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

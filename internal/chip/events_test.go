@@ -1,0 +1,161 @@
+package chip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+)
+
+// TestEventDrivenMatchesDenseSimulator is the load-bearing check: the AER
+// execution model must produce bit-identical outputs to the dense simulator
+// run on the chip's effective (readback) network, over random programs,
+// patterns and both reset modes.
+func TestEventDrivenMatchesDenseSimulator(t *testing.T) {
+	f := func(seed uint64, subtract bool) bool {
+		params := snn.DefaultParams()
+		if subtract {
+			params.Reset = snn.ResetSubtract
+		}
+		cfg := Config{
+			Arch:       snn.Arch{10, 8, 6, 4},
+			Params:     params,
+			Core:       CoreShape{Axons: 4, Neurons: 4}, // force multi-core tiling
+			WeightBits: 8,
+		}
+		c := New(cfg, 1)
+		net := snn.New(cfg.Arch, params)
+		rng := stats.NewRNG(seed)
+		for b := range net.W {
+			for i := range net.W[b] {
+				net.W[b][i] = -10 + 20*rng.Float64()
+			}
+		}
+		if err := c.Program(net); err != nil {
+			return false
+		}
+		p := snn.NewPattern(10)
+		for i := range p {
+			p[i] = rng.Float64() < 0.5
+		}
+		eventRes, _, err := c.RunEventDriven(p, 6)
+		if err != nil {
+			return false
+		}
+		denseRes, err := c.Apply(p, 6, nil)
+		if err != nil {
+			return false
+		}
+		return eventRes.Equal(denseRes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventDrivenStats(t *testing.T) {
+	cfg := Config{
+		Arch:       snn.Arch{4, 3, 2},
+		Params:     snn.DefaultParams(),
+		Core:       CoreShape{Axons: 2, Neurons: 2},
+		WeightBits: 8,
+	}
+	c := New(cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.Fill(10)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silent chip: no events at all.
+	_, silent, err := c.RunEventDriven(snn.NewPattern(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silent.Events != 0 || silent.SynopsUpdated != 0 || silent.PeakQueue != 0 {
+		t.Errorf("silent chip routed traffic: %v", silent)
+	}
+
+	// One input spike: 1 input event; layer 1 fires 3 neurons; layer 2 is
+	// the output (events terminate). Events = 1 + 3 = 4.
+	p := snn.NewPattern(4)
+	p[0] = true
+	res, busy, err := c.RunEventDriven(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Events != 4 {
+		t.Errorf("events = %d, want 4", busy.Events)
+	}
+	// Input event hits the 2 cores covering row 0 of boundary 0 (columns
+	// split 2+1): deliveries 2; each layer-1 event hits 1 core of boundary
+	// 1 (2 outputs fit one core row? boundary 1 is 3x2 → cores: axons
+	// split 2+1, neurons 2 → 2 cores; each event covered by exactly 1).
+	if busy.CoreDeliveries != 2+3 {
+		t.Errorf("deliveries = %d, want 5", busy.CoreDeliveries)
+	}
+	if res.SpikeCounts[0] != 1 || res.SpikeCounts[1] != 1 {
+		t.Errorf("outputs = %v", res.SpikeCounts)
+	}
+	if busy.PeakQueue != 1+3+2 {
+		t.Errorf("peak queue = %d, want 6", busy.PeakQueue)
+	}
+	if busy.String() == "" {
+		t.Errorf("empty stats string")
+	}
+}
+
+func TestEventDrivenErrors(t *testing.T) {
+	cfg := Config{Arch: snn.Arch{3, 2}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 8}
+	c := New(cfg, 1)
+	if _, _, err := c.RunEventDriven(snn.NewPattern(3), 2); err == nil {
+		t.Errorf("unprogrammed chip ran")
+	}
+	if err := c.Program(snn.New(cfg.Arch, cfg.Params)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RunEventDriven(snn.NewPattern(7), 2); err == nil {
+		t.Errorf("bad pattern width accepted")
+	}
+	if _, _, err := c.RunEventDriven(snn.NewPattern(3), 0); err == nil {
+		t.Errorf("zero timesteps accepted")
+	}
+	if _, _, err := c.RunEventDriven(snn.NewPattern(3), 100); err == nil {
+		t.Errorf("huge timesteps accepted")
+	}
+}
+
+// TestEventTrafficSaturatesUnderAlwaysSpikeConfig demonstrates the testing
+// angle: the NASF/SASF configuration (all weights ωmax) is also a router
+// stress pattern — one injected spike saturates every layer.
+func TestEventTrafficSaturatesUnderAlwaysSpikeConfig(t *testing.T) {
+	cfg := Config{
+		Arch:       snn.Arch{8, 6, 4},
+		Params:     snn.DefaultParams(),
+		Core:       CoreShape{Axons: 4, Neurons: 4},
+		WeightBits: 8,
+	}
+	c := New(cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	net.Fill(cfg.Params.WMax)
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	p := snn.NewPattern(8)
+	p[3] = true
+	_, st, err := c.RunEventDriven(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 input event + 6 hidden events (outputs terminate): all fire.
+	if st.Events != 7 {
+		t.Errorf("events = %d, want 7", st.Events)
+	}
+	// Synops: input event touches all 6 hidden (via 2 cores of 4+2
+	// columns... counted as core.Neurons sums) = 6; each hidden event
+	// touches all 4 outputs = 24. Total 30.
+	if st.SynopsUpdated != 6+24 {
+		t.Errorf("synops = %d, want 30", st.SynopsUpdated)
+	}
+}

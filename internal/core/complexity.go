@@ -1,0 +1,93 @@
+package core
+
+import (
+	"neurotest/internal/fault"
+)
+
+// PredictedCounts returns the exact number of test configurations and test
+// patterns the generator will emit for a fault model, i.e. the closed forms
+// behind Table 3 (Lemmas 1–3) evaluated with ceiling divisions per layer.
+// Because the generator emits exactly one pattern per configuration, both
+// counts coincide for every model.
+func (g *Generator) PredictedCounts(kind fault.Kind) int {
+	arch := g.opt.Arch
+	switch kind {
+	case fault.NASF, fault.SASF:
+		return 1
+	case fault.ESF:
+		total := 0
+		for l := 1; l < arch.Layers(); l++ {
+			prop := g.propagationSettings(CategoryStimulatedWhenFaulty, arch[l])
+			total += numGroups(arch[l], prop.GroupSize)
+		}
+		return total
+	case fault.HSF:
+		total := 0
+		for l := 1; l < arch.Layers(); l++ {
+			prop := g.propagationSettings(CategoryInhibitedWhenFaulty, arch[l])
+			total += numGroups(arch[l], prop.GroupSize)
+		}
+		return total
+	case fault.SWF:
+		cat := CategoryStimulatedWhenFaulty
+		if g.opt.Values.SWFOmega <= g.opt.Params.Theta {
+			cat = CategoryInhibitedWhenFaulty
+		}
+		total := 0
+		for l := 1; l < arch.Layers(); l++ {
+			act := g.activationSettings(cat, arch[l-1])
+			prop := g.propagationSettings(cat, arch[l])
+			total += numGroups(arch[l-1], act.GroupSize) * numGroups(arch[l], prop.GroupSize)
+		}
+		return total
+	default:
+		panic("core: unknown fault kind")
+	}
+}
+
+// Table3Row reports the asymptotic count of Table 3 for a fault model under
+// the given regime, expressed as the multiple of (L-1) it evaluates to when
+// every layer is wide (width divisible by the group fractions). The paper's
+// row entries are:
+//
+//	no variation:  NASF/SASF 1, ESF (L-1), HSF 2(L-1), SWF(ω̂>θ) (L-1),
+//	               SWF(ω̂≤θ) 4(L-1)
+//	negligible:    NASF/SASF 1, ESF (L-1), HSF 4(L-1), SWF(ω̂>θ) 4(L-1),
+//	               SWF(ω̂≤θ) 16(L-1)
+//
+// Table3Row returns (multiplier, perChip) where perChip is true for the
+// models tested with a single configuration regardless of L.
+func Table3Row(kind fault.Kind, swfAboveTheta, considerVariation bool) (multiplier int, single bool) {
+	switch kind {
+	case fault.NASF, fault.SASF:
+		return 1, true
+	case fault.ESF:
+		return 1, false
+	case fault.HSF:
+		if considerVariation {
+			return 4, false
+		}
+		return 2, false
+	case fault.SWF:
+		if swfAboveTheta {
+			if considerVariation {
+				return 4, false
+			}
+			return 1, false
+		}
+		if considerVariation {
+			return 16, false
+		}
+		return 4, false
+	default:
+		panic("core: unknown fault kind")
+	}
+}
+
+// numGroups returns ⌈n/size⌉ (the covering-loop iteration count).
+func numGroups(n, size int) int {
+	if size < 1 {
+		size = 1
+	}
+	return (n + size - 1) / size
+}

@@ -1,0 +1,392 @@
+// Package core implements the paper's contribution: low-complexity
+// algorithmic test generation for neuromorphic chips without DfT.
+//
+// A test for a fault consists of a *test configuration* (a full set of
+// weights to program) and a *test pattern* (a primary-input spike vector).
+// Generation composes two steps:
+//
+//   - Fault activation (Section 3.2, Algorithm 2, Table 1) drives a
+//     designated target neuron or synapse so that its output spike differs
+//     between the good and the faulty chip.
+//   - Fault propagation (Section 3.3, Algorithm 3, Table 2) sensitizes that
+//     difference through every remaining layer to the primary outputs.
+//
+// NASF and SASF are all tested by one configuration (Algorithm 4); ESF, HSF
+// and SWF are tested layer by layer (Algorithms 5 and 6), needing O(L)
+// configurations and patterns under negligible or no weight variation
+// (Table 3).
+package core
+
+import (
+	"fmt"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+)
+
+// Regime selects between the "consider variation?" No/Yes columns of
+// Tables 1 and 2.
+type Regime struct {
+	// Consider selects the variation-tolerant ("Yes") settings.
+	Consider bool
+	// Nu is the paper's ν: the maximum number of simultaneously stimulated
+	// neurons whose accumulated weight error leaves every output unchanged
+	// (Eq. 4). Only meaningful when Consider is true. stats.MaxNu means
+	// "negligible variation" — ν exceeds every layer width.
+	Nu int
+}
+
+// NoVariation returns the regime using the "No" columns of Tables 1/2.
+func NoVariation() Regime { return Regime{} }
+
+// NegligibleVariation returns the variation-tolerant regime with unbounded
+// ν — the assumption under which the paper sweeps Fig. 4.
+func NegligibleVariation() Regime { return Regime{Consider: true, Nu: stats.MaxNu} }
+
+// ForSigma returns the variation-tolerant regime with ν computed from the
+// actual variation σ and confidence multiplier c (Section 4.1).
+func ForSigma(omegaMax, sigma, c float64) Regime {
+	return Regime{Consider: true, Nu: stats.Nu(omegaMax, sigma, c)}
+}
+
+// String renders the regime for reports.
+func (r Regime) String() string {
+	if !r.Consider {
+		return "no-variation"
+	}
+	if r.Nu >= stats.MaxNu {
+		return "variation-aware (ν unbounded)"
+	}
+	return fmt.Sprintf("variation-aware (ν=%d)", r.Nu)
+}
+
+// Options parameterizes a Generator.
+type Options struct {
+	Arch   snn.Arch
+	Params snn.Params
+	// Values holds the fault-strength parameters θ̂ and ω̂ the tests are
+	// aimed at.
+	Values fault.Values
+	// Regime selects the Table 1/2 columns.
+	Regime Regime
+	// Timesteps is the observation window per pattern. The deterministic
+	// tests resolve within one timestep; a slightly longer window also
+	// observes always-spike faults repeatedly. Default 4.
+	Timesteps int
+}
+
+// Generator emits test sets per fault model.
+type Generator struct {
+	opt Options
+}
+
+// NewGenerator validates the options and returns a generator.
+func NewGenerator(opt Options) (*Generator, error) {
+	if err := opt.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Values.Validate(opt.Params.Theta); err != nil {
+		return nil, err
+	}
+	if opt.Timesteps == 0 {
+		opt.Timesteps = 4
+	}
+	if opt.Timesteps < 1 || opt.Timesteps > snn.MaxTimesteps {
+		return nil, fmt.Errorf("core: timesteps %d out of [1,%d]", opt.Timesteps, snn.MaxTimesteps)
+	}
+	if opt.Regime.Consider && opt.Regime.Nu < 1 {
+		return nil, fmt.Errorf("core: variation-aware regime needs ν >= 1, got %d (variation too large for any test)", opt.Regime.Nu)
+	}
+	return &Generator{opt: opt}, nil
+}
+
+// Options returns the generator's (defaulted) options.
+func (g *Generator) Options() Options { return g.opt }
+
+// Generate emits the test set for one fault model.
+func (g *Generator) Generate(kind fault.Kind) *pattern.TestSet {
+	switch kind {
+	case fault.NASF, fault.SASF:
+		return g.generateAlwaysSpike(kind)
+	case fault.ESF:
+		return g.generateThresholdFault(fault.ESF)
+	case fault.HSF:
+		return g.generateThresholdFault(fault.HSF)
+	case fault.SWF:
+		return g.generateSWF()
+	default:
+		panic(fmt.Sprintf("core: unknown fault kind %v", kind))
+	}
+}
+
+// GenerateAll emits one test set per fault model, keyed by model, plus a
+// merged set in tester order (NASF and SASF share their single
+// configuration, which the merged set deduplicates).
+func (g *Generator) GenerateAll() (map[fault.Kind]*pattern.TestSet, *pattern.TestSet) {
+	perKind := make(map[fault.Kind]*pattern.TestSet)
+	merged := pattern.NewTestSet("proposed", g.opt.Arch, g.opt.Params)
+	for i, k := range fault.Kinds() {
+		ts := g.Generate(k)
+		perKind[k] = ts
+		if k == fault.SASF {
+			// Identical to the NASF configuration and pattern — apply once.
+			continue
+		}
+		_ = i
+		merged.Merge(ts)
+	}
+	return perKind, merged
+}
+
+// generateAlwaysSpike implements Algorithm 4: a single all-ωmax
+// configuration with an all-zero pattern tests every NASF and SASF.
+func (g *Generator) generateAlwaysSpike(kind fault.Kind) *pattern.TestSet {
+	ts := pattern.NewTestSet(kind.String(), g.opt.Arch, g.opt.Params)
+	cfg := snn.New(g.opt.Arch, g.opt.Params)
+	cfg.Fill(g.opt.Params.WMax)
+	ci := ts.AddConfig(cfg)
+	ts.AddItem(pattern.Item{
+		Label:       kind.String() + " all",
+		ConfigIndex: ci,
+		Pattern:     snn.NewPattern(g.opt.Arch.Inputs()),
+		Timesteps:   g.opt.Timesteps,
+		Repeat:      1,
+	})
+	return ts
+}
+
+// generateThresholdFault implements Algorithm 5 for ESF and HSF: for every
+// layer ℓ = 2..L, cover its neurons with target groups sized by Table 2 and
+// emit one (configuration, pattern) pair per group. The pre-target is always
+// the first neuron of layer ℓ-1 with ω_pt = (θ+θ̂)/2.
+func (g *Generator) generateThresholdFault(kind fault.Kind) *pattern.TestSet {
+	ts := pattern.NewTestSet(kind.String(), g.opt.Arch, g.opt.Params)
+	theta := g.opt.Params.Theta
+	var thetaHat float64
+	var cat Category
+	if kind == fault.ESF {
+		thetaHat = g.opt.Values.ESFTheta
+		cat = CategoryStimulatedWhenFaulty
+	} else {
+		thetaHat = g.opt.Values.HSFTheta
+		cat = CategoryInhibitedWhenFaulty
+	}
+	wpt := (theta + thetaHat) / 2
+
+	arch := g.opt.Arch
+	for l := 1; l < arch.Layers(); l++ {
+		prop := g.propagationSettings(cat, arch[l])
+		for _, grp := range coverGroups(arch[l], prop.GroupSize) {
+			targets := grp
+			anc := pickAncillaries(arch[l], targets, prop.Ancillaries(len(targets)))
+			cfg := snn.New(arch, g.opt.Params)
+			pat := g.faultAct(cfg, l, []int{0}, nil, targets, anc, wpt, 0)
+			if l < arch.Layers()-1 {
+				g.faultProp(cfg, l, targets, anc, prop.WT, prop.WA)
+			}
+			ci := ts.AddConfig(cfg)
+			ts.AddItem(pattern.Item{
+				Label:       fmt.Sprintf("%v L%d tgt[%d:%d]", kind, l+1, targets[0], targets[len(targets)-1]+1),
+				ConfigIndex: ci,
+				Pattern:     pat,
+				Timesteps:   g.opt.Timesteps,
+				Repeat:      1,
+			})
+		}
+	}
+	return ts
+}
+
+// generateSWF implements Algorithm 6: for every boundary, cover the
+// presynaptic layer with pre-target groups (Table 1) and the postsynaptic
+// layer with target groups (Table 2), emitting one pair per combination.
+func (g *Generator) generateSWF() *pattern.TestSet {
+	ts := pattern.NewTestSet("SWF", g.opt.Arch, g.opt.Params)
+	arch := g.opt.Arch
+	cat := CategoryStimulatedWhenFaulty
+	if g.opt.Values.SWFOmega <= g.opt.Params.Theta {
+		cat = CategoryInhibitedWhenFaulty
+	}
+	for l := 1; l < arch.Layers(); l++ {
+		act := g.activationSettings(cat, arch[l-1])
+		prop := g.propagationSettings(cat, arch[l])
+		for _, preGrp := range coverGroups(arch[l-1], act.GroupSize) {
+			preAnc := pickAncillaries(arch[l-1], preGrp, act.Ancillaries(len(preGrp)))
+			for _, tgtGrp := range coverGroups(arch[l], prop.GroupSize) {
+				anc := pickAncillaries(arch[l], tgtGrp, prop.Ancillaries(len(tgtGrp)))
+				cfg := snn.New(arch, g.opt.Params)
+				pat := g.faultAct(cfg, l, preGrp, preAnc, tgtGrp, anc, act.WPT, act.WPA)
+				if l < arch.Layers()-1 {
+					g.faultProp(cfg, l, tgtGrp, anc, prop.WT, prop.WA)
+				}
+				ci := ts.AddConfig(cfg)
+				ts.AddItem(pattern.Item{
+					Label: fmt.Sprintf("SWF B%d pre[%d:%d] tgt[%d:%d]",
+						l, preGrp[0], preGrp[len(preGrp)-1]+1, tgtGrp[0], tgtGrp[len(tgtGrp)-1]+1),
+					ConfigIndex: ci,
+					Pattern:     pat,
+					Timesteps:   g.opt.Timesteps,
+					Repeat:      1,
+				})
+			}
+		}
+	}
+	return ts
+}
+
+// faultAct implements Algorithm 2 (fault activation) on cfg for target layer
+// l (0-based; the paper's ℓ = l+1) and returns the test pattern.
+//
+//   - Pre-target and pre-ancillary neurons of layer l-1 are stimulated,
+//     every other neuron of layer l-1 is inhibited.
+//   - Weights into target and ancillary neurons of layer l come from
+//     pre-targets at ω_pt and pre-ancillaries at ω_pa (0 from everyone
+//     else); every other neuron of layer l is inhibited via ωmin columns.
+func (g *Generator) faultAct(cfg *snn.Network, l int, preTargets, preAnc, targets, anc []int, wpt, wpa float64) snn.Pattern {
+	arch := g.opt.Arch
+	wmax, wmin := g.opt.Params.WMax, g.opt.Params.WMin()
+
+	var pat snn.Pattern
+	if l-1 == 0 {
+		// Layer ℓ-1 is the input layer: stimulate pre-targets and
+		// pre-ancillaries directly through the primary inputs.
+		pat = snn.NewPattern(arch.Inputs())
+		for _, i := range preTargets {
+			pat[i] = true
+		}
+		for _, i := range preAnc {
+			pat[i] = true
+		}
+	} else {
+		// Fire every primary input, saturate layers 1..ℓ-2, then select
+		// the pre-targets/pre-ancillaries at boundary ℓ-2.
+		pat = snn.OnesPattern(arch.Inputs())
+		maximizeWeights(cfg, 0, l-2)
+		isPre := memberSet(preTargets, preAnc)
+		for j := 0; j < arch[l-1]; j++ {
+			if isPre[j] {
+				cfg.SetColumn(l-2, j, wmax)
+			} else {
+				cfg.SetColumn(l-2, j, wmin)
+			}
+		}
+	}
+
+	// Boundary ℓ-1 → ℓ: ω_pt / ω_pa / 0 into targets and ancillaries,
+	// ωmin into everyone else.
+	isTarget := memberSet(targets, anc)
+	isPT := memberSet(preTargets, nil)
+	isPA := memberSet(preAnc, nil)
+	for j := 0; j < arch[l]; j++ {
+		if !isTarget[j] {
+			cfg.SetColumn(l-1, j, wmin)
+			continue
+		}
+		for i := 0; i < arch[l-1]; i++ {
+			switch {
+			case isPT[i]:
+				cfg.SetEntry(l-1, i, j, wpt)
+			case isPA[i]:
+				cfg.SetEntry(l-1, i, j, wpa)
+			default:
+				cfg.SetEntry(l-1, i, j, 0)
+			}
+		}
+	}
+	return pat
+}
+
+// faultProp implements Algorithm 3 (fault propagation) on cfg: weights out
+// of targets are ω_t, out of ancillaries ω_a, 0 from everyone else; all
+// boundaries after layer l+1 are saturated at ωmax.
+func (g *Generator) faultProp(cfg *snn.Network, l int, targets, anc []int, wt, wa float64) {
+	arch := g.opt.Arch
+	isT := memberSet(targets, nil)
+	isA := memberSet(anc, nil)
+	nOut := arch[l+1]
+	for i := 0; i < arch[l]; i++ {
+		var w float64
+		switch {
+		case isT[i]:
+			w = wt
+		case isA[i]:
+			w = wa
+		default:
+			w = 0
+		}
+		for j := 0; j < nOut; j++ {
+			cfg.SetEntry(l, i, j, w)
+		}
+	}
+	maximizeWeights(cfg, l+1, arch.Layers()-1)
+}
+
+// maximizeWeights implements Algorithm 1: set every weight between layer
+// start and layer end (0-based, inclusive) to ωmax. start >= end is a no-op.
+func maximizeWeights(cfg *snn.Network, start, end int) {
+	for b := start; b < end; b++ {
+		if b < 0 {
+			continue
+		}
+		cfg.FillBoundary(b, cfg.Params.WMax)
+	}
+}
+
+// coverGroups partitions [0, n) into consecutive chunks of at most size,
+// covering every index exactly once (the "while ∃ neuron not once covered"
+// loops of Algorithms 5/6).
+func coverGroups(n, size int) [][]int {
+	if size < 1 {
+		size = 1
+	}
+	var out [][]int
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		grp := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			grp = append(grp, i)
+		}
+		out = append(out, grp)
+	}
+	return out
+}
+
+// pickAncillaries selects count ancillary indices from [0, n) avoiding the
+// target set. It panics when the layer cannot supply them — settings are
+// clamped so this never happens for valid regimes.
+func pickAncillaries(n int, targets []int, count int) []int {
+	if count == 0 {
+		return nil
+	}
+	isT := memberSet(targets, nil)
+	out := make([]int, 0, count)
+	for i := 0; i < n && len(out) < count; i++ {
+		if !isT[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) < count {
+		panic(fmt.Sprintf("core: layer of width %d cannot supply %d ancillaries beside %d targets", n, count, len(targets)))
+	}
+	return out
+}
+
+// memberSet builds a membership lookup over two index slices.
+func memberSet(a, b []int) map[int]bool {
+	m := make(map[int]bool, len(a)+len(b))
+	for _, i := range a {
+		m[i] = true
+	}
+	for _, i := range b {
+		m[i] = true
+	}
+	return m
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/faultsim"
+	"neurotest/internal/snn"
+)
+
+func TestScaleCoverage(t *testing.T) {
+	arch := snn.Arch{576, 256, 32, 10}
+	g := testGenerator(t, arch, NoVariation())
+	for _, kind := range fault.Kinds() {
+		start := time.Now()
+		ts := g.Generate(kind)
+		eng := faultsim.New(ts, g.Options().Values, nil)
+		universe := fault.Universe(arch, kind)
+		got := eng.Coverage(universe)
+		t.Logf("%v: %d/%d detected in %v", kind, got, len(universe), time.Since(start))
+		if got != len(universe) {
+			missed := eng.Undetected(universe)
+			t.Errorf("%v: %d undetected, first %v", kind, len(missed), missed[0])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"neurotest/internal/stats"
+)
+
+// Category classifies ESF/HSF/SWF by how the fault flips a target neuron
+// (Section 3.3): either the target is stimulated only in the faulty chip
+// (ESF, SWF with ω̂ > θ) or only in the good chip (HSF, SWF with ω̂ ≤ θ).
+// Faults in the same category share propagation settings (Table 2 columns).
+type Category int
+
+const (
+	// CategoryStimulatedWhenFaulty covers ESF and SWF(ω̂ > θ).
+	CategoryStimulatedWhenFaulty Category = iota
+	// CategoryInhibitedWhenFaulty covers HSF and SWF(ω̂ ≤ θ).
+	CategoryInhibitedWhenFaulty
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CategoryStimulatedWhenFaulty:
+		return "stimulated-when-faulty"
+	case CategoryInhibitedWhenFaulty:
+		return "inhibited-when-faulty"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// ActivationSettings captures one column of Table 1: how to pick pre-target
+// and pre-ancillary neurons in layer ℓ-1 and the weights ω_pt, ω_pa.
+type ActivationSettings struct {
+	// GroupSize is |N_pt| per covering group.
+	GroupSize int
+	// WPT, WPA are ω_pt and ω_pa.
+	WPT, WPA float64
+	// ancPerTarget derives |N_pa| from the actual pre-target group size g
+	// so the Ω_p identity of the column holds exactly even for the
+	// smaller final group.
+	ancPerTarget func(g int) int
+}
+
+// Ancillaries returns |N_pa| for an actual group of size g.
+func (a ActivationSettings) Ancillaries(g int) int { return a.ancPerTarget(g) }
+
+// PropagationSettings captures one column of Table 2: target/ancillary
+// group sizing in layer ℓ and the weights ω_t, ω_a.
+type PropagationSettings struct {
+	// GroupSize is |N_t| per covering group.
+	GroupSize int
+	// WT, WA are ω_t and ω_a.
+	WT, WA float64
+	// ancPerTarget derives |N_a| from the actual target group size.
+	ancPerTarget func(g int) int
+}
+
+// Ancillaries returns |N_a| for an actual group of size g.
+func (p PropagationSettings) Ancillaries(g int) int { return p.ancPerTarget(g) }
+
+// activationSettings resolves Table 1 for a presynaptic layer of width n.
+//
+// Width-1 layers cannot host the ancillary neurons the variation-aware
+// columns require; they gracefully fall back to the matching "No" column
+// (whose Ω_p margin for that width is ωmax, ample for any realistic σ).
+func (g *Generator) activationSettings(cat Category, n int) ActivationSettings {
+	wmax := g.opt.Params.WMax
+	consider := g.opt.Regime.Consider && n > 1
+	switch cat {
+	case CategoryStimulatedWhenFaulty: // SWF ω̂ > θ
+		if !consider {
+			// |N_pt| = |N^{ℓ-1}|, |N_pa| = 0, ω_pt = ω_pa = 0:
+			// Ω_p = 0, Ω̂_p = ω̂.
+			return ActivationSettings{
+				GroupSize:    n,
+				WPT:          0,
+				WPA:          0,
+				ancPerTarget: func(int) int { return 0 },
+			}
+		}
+		// |N_pt| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_pa| = 2|N_pt|-1,
+		// ω_pt = -ωmax, ω_pa = ωmax/2: Ω_p = -ωmax/2, Ω̂_p = ωmax/2 + ω̂.
+		return ActivationSettings{
+			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			WPT:          -wmax,
+			WPA:          wmax / 2,
+			ancPerTarget: func(gs int) int { return 2*gs - 1 },
+		}
+	case CategoryInhibitedWhenFaulty: // SWF ω̂ ≤ θ
+		if !consider {
+			// |N_pt| = ⌈n/2⌉, |N_pa| = |N_pt|-1, ω_pt = ωmax,
+			// ω_pa = -ωmax: Ω_p = ωmax, Ω̂_p = ω̂.
+			return ActivationSettings{
+				GroupSize:    ceilDiv(n, 2),
+				WPT:          wmax,
+				WPA:          -wmax,
+				ancPerTarget: func(gs int) int { return gs - 1 },
+			}
+		}
+		// |N_pt| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_pa| = 2|N_pt|-1, ω_pt = ωmax,
+		// ω_pa = -ωmax/2: Ω_p = ωmax/2, Ω̂_p = -ωmax/2 + ω̂.
+		return ActivationSettings{
+			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			WPT:          wmax,
+			WPA:          -wmax / 2,
+			ancPerTarget: func(gs int) int { return 2*gs - 1 },
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown category %v", cat))
+	}
+}
+
+// propagationSettings resolves Table 2 for a target layer of width n,
+// with the same width-1 fallback rule as activationSettings.
+func (g *Generator) propagationSettings(cat Category, n int) PropagationSettings {
+	wmax := g.opt.Params.WMax
+	consider := g.opt.Regime.Consider && n > 1
+	switch cat {
+	case CategoryStimulatedWhenFaulty: // ESF, SWF ω̂ > θ
+		size := n
+		if consider {
+			size = minInt(n, g.opt.Regime.Nu)
+		}
+		// |N_a| = 0, ω_t = ωmax, ω_a = 0: Ω = 0, Ω̂ = ωmax.
+		return PropagationSettings{
+			GroupSize:    size,
+			WT:           wmax,
+			WA:           0,
+			ancPerTarget: func(int) int { return 0 },
+		}
+	case CategoryInhibitedWhenFaulty: // HSF, SWF ω̂ ≤ θ
+		if !consider {
+			// |N_t| = ⌈n/2⌉, |N_a| = |N_t|-1, ω_t = ωmax, ω_a = -ωmax:
+			// Ω = ωmax, Ω̂ = 0.
+			return PropagationSettings{
+				GroupSize:    ceilDiv(n, 2),
+				WT:           wmax,
+				WA:           -wmax,
+				ancPerTarget: func(gs int) int { return gs - 1 },
+			}
+		}
+		// |N_t| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_a| = 2|N_t|-1, ω_t = ωmax,
+		// ω_a = -ωmax/2: Ω = ωmax/2, Ω̂ = -ωmax/2.
+		return PropagationSettings{
+			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			WT:           wmax,
+			WA:           -wmax / 2,
+			ancPerTarget: func(gs int) int { return 2*gs - 1 },
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown category %v", cat))
+	}
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b, saturating for the MaxNu sentinel.
+func ceilDiv(a, b int) int {
+	if a >= stats.MaxNu {
+		return stats.MaxNu
+	}
+	return (a + b - 1) / b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"neurotest/internal/core"
+	"neurotest/internal/fault"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+)
+
+func buildSuite(t *testing.T, arch snn.Arch) (*core.Generator, *pattern.TestSet) {
+	t.Helper()
+	params := snn.DefaultParams()
+	g, err := core.NewGenerator(core.Options{
+		Arch:   arch,
+		Params: params,
+		Values: fault.PaperValues(params.Theta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, merged := g.GenerateAll()
+	return g, merged
+}
+
+func fullUniverse(arch snn.Arch) []fault.Fault {
+	var out []fault.Fault
+	for _, k := range fault.Kinds() {
+		out = append(out, fault.Universe(arch, k)...)
+	}
+	return out
+}
+
+func TestSignatureBasics(t *testing.T) {
+	s := NewSignature(70) // spans two words
+	if s.AnyFail() {
+		t.Errorf("fresh signature fails")
+	}
+	s.SetFail(0)
+	s.SetFail(69)
+	if !s.Fails(0) || !s.Fails(69) || s.Fails(35) {
+		t.Errorf("bit handling wrong: %s", s)
+	}
+	if s.CountFails() != 2 {
+		t.Errorf("CountFails = %d", s.CountFails())
+	}
+	str := s.String()
+	if len(str) != 70 || str[0] != '1' || str[69] != '1' || strings.Count(str, "1") != 2 {
+		t.Errorf("String = %q", str)
+	}
+	other := NewSignature(70)
+	other.SetFail(0)
+	other.SetFail(69)
+	if s.Key() != other.Key() {
+		t.Errorf("equal signatures, different keys")
+	}
+	assertPanics(t, "out of range", func() { s.SetFail(70) })
+}
+
+func TestDictionaryDiagnosesInjectedFaults(t *testing.T) {
+	arch := snn.Arch{8, 6, 4}
+	g, merged := buildSuite(t, arch)
+	universe := fullUniverse(arch)
+	dict := Build(merged, g.Options().Values, nil, universe)
+
+	if dict.Detected() != dict.Total() {
+		t.Fatalf("dictionary: %d/%d detected; proposed sets guarantee 100%%", dict.Detected(), dict.Total())
+	}
+
+	// Inject every 7th fault as a chip defect and diagnose it: the
+	// candidate list must contain the injected fault.
+	for i := 0; i < len(universe); i += 7 {
+		f := universe[i]
+		sig := ObserveChip(merged, nil, f.Modifiers(g.Options().Values))
+		if !sig.AnyFail() {
+			t.Fatalf("%v produced a passing chip", f)
+		}
+		candidates := dict.Lookup(sig)
+		found := false
+		for _, c := range candidates {
+			if c == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v not among %d candidates for its own signature", f, len(candidates))
+		}
+	}
+}
+
+func TestDictionaryResolution(t *testing.T) {
+	arch := snn.Arch{8, 6, 4}
+	g, merged := buildSuite(t, arch)
+	universe := fullUniverse(arch)
+	dict := Build(merged, g.Options().Values, nil, universe)
+	r := dict.Resolution()
+	if r.Classes < 2 {
+		t.Errorf("only %d failing classes", r.Classes)
+	}
+	if r.MaxClassSize <= 0 || r.MeanClassSize <= 0 {
+		t.Errorf("degenerate resolution: %+v", r)
+	}
+	if r.MeanClassSize > float64(r.MaxClassSize) {
+		t.Errorf("mean %g exceeds max %d", r.MeanClassSize, r.MaxClassSize)
+	}
+	if got := dict.Classes(); got < r.Classes {
+		t.Errorf("Classes() = %d < failing classes %d", got, r.Classes)
+	}
+	if !strings.Contains(dict.String(), "classes") {
+		t.Errorf("summary: %q", dict.String())
+	}
+}
+
+func TestLookupUnknownSignature(t *testing.T) {
+	arch := snn.Arch{6, 4, 3}
+	g, merged := buildSuite(t, arch)
+	dict := Build(merged, g.Options().Values, nil, fault.Universe(arch, fault.NASF))
+	// Every NASF fails the always-spike item (item 0 of the merged set), so
+	// a signature passing item 0 but failing the last item is unmodelled.
+	weird := NewSignature(len(merged.Items))
+	weird.SetFail(len(merged.Items) - 1)
+	if got := dict.Lookup(weird); got != nil {
+		t.Errorf("unmodelled signature returned %v", got)
+	}
+}
+
+func TestObserveChipGoodDie(t *testing.T) {
+	arch := snn.Arch{6, 4, 3}
+	_, merged := buildSuite(t, arch)
+	sig := ObserveChip(merged, nil, nil)
+	if sig.AnyFail() {
+		t.Errorf("good die failed items: %s", sig)
+	}
+}
+
+func TestSortFaults(t *testing.T) {
+	fs := []fault.Fault{
+		fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 1, Pre: 0, Post: 0}),
+		fault.NewNeuronFault(fault.HSF, snn.NeuronID{Layer: 2, Index: 1}),
+		fault.NewNeuronFault(fault.HSF, snn.NeuronID{Layer: 1, Index: 3}),
+		fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 0, Pre: 2, Post: 1}),
+		fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 0}),
+	}
+	SortFaults(fs)
+	if fs[0].Kind != fault.NASF {
+		t.Errorf("NASF not first: %v", fs)
+	}
+	if fs[1].Neuron.Layer != 1 || fs[2].Neuron.Layer != 2 {
+		t.Errorf("HSF order wrong: %v", fs)
+	}
+	if fs[3].Synapse.Boundary != 0 || fs[4].Synapse.Boundary != 1 {
+		t.Errorf("SWF order wrong: %v", fs)
+	}
+}
+
+// TestSignatureDistinguishesLayers checks the headline diagnosability
+// property of the O(L) sets: faults in different layers fail different
+// items, so the dictionary always localises the failing layer.
+func TestSignatureDistinguishesLayers(t *testing.T) {
+	arch := snn.Arch{8, 6, 4}
+	g, merged := buildSuite(t, arch)
+	vals := g.Options().Values
+	sigOf := func(f fault.Fault) string {
+		return ObserveChip(merged, nil, f.Modifiers(vals)).Key()
+	}
+	esfL1 := fault.NewNeuronFault(fault.ESF, snn.NeuronID{Layer: 1, Index: 0})
+	esfL2 := fault.NewNeuronFault(fault.ESF, snn.NeuronID{Layer: 2, Index: 0})
+	if sigOf(esfL1) == sigOf(esfL2) {
+		t.Errorf("ESF faults in different layers share a signature")
+	}
+	swfB0 := fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 0, Pre: 0, Post: 0})
+	swfB1 := fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 1, Pre: 0, Post: 0})
+	if sigOf(swfB0) == sigOf(swfB1) {
+		t.Errorf("SWF faults at different boundaries share a signature")
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,36 @@
+package diagnose
+
+import (
+	"neurotest/internal/faultsim"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+)
+
+// ObserveChip runs the FULL test program against a chip under test (unlike
+// the production ATE, diagnosis never stops at the first fail) and returns
+// the observed pass/fail signature. mods injects the defect being
+// diagnosed; transform must match the dictionary's.
+func ObserveChip(ts *pattern.TestSet, transform faultsim.ConfigTransform, mods *snn.Modifiers) Signature {
+	ate := tester.New(ts, transform)
+	sig := NewSignature(len(ts.Items))
+	// Run item by item with a fresh simulator per configuration; we cannot
+	// use ATE.RunChip because it early-exits on the first fail.
+	nets := make(map[int]*snn.Simulator)
+	for i, it := range ts.Items {
+		sim, ok := nets[it.ConfigIndex]
+		if !ok {
+			cfg := ts.Configs[it.ConfigIndex]
+			if transform != nil {
+				cfg = transform(cfg)
+			}
+			sim = snn.NewSimulator(cfg)
+			nets[it.ConfigIndex] = sim
+		}
+		res := sim.Run(it.Pattern, it.Timesteps, it.Mode(), mods)
+		if !res.Equal(ate.Golden(i)) {
+			sig.SetFail(i)
+		}
+	}
+	return sig
+}

@@ -1,0 +1,224 @@
+package faultsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+)
+
+// bruteForce is the reference implementation: full simulation of every item
+// with the fault injected via simulator modifiers.
+func bruteForce(ts *pattern.TestSet, values fault.Values, f fault.Fault) bool {
+	for _, it := range ts.Items {
+		net := ts.Configs[it.ConfigIndex]
+		sim := snn.NewSimulator(net)
+		golden := sim.Run(it.Pattern, it.Timesteps, snn.ApplyOnce, nil)
+		faulty := sim.Run(it.Pattern, it.Timesteps, snn.ApplyOnce, f.Modifiers(values))
+		if !faulty.Equal(golden) {
+			return true
+		}
+	}
+	return false
+}
+
+// randomTestSet builds a test set of random configurations and patterns.
+func randomTestSet(arch snn.Arch, nConfigs, patternsPer int, seed uint64) *pattern.TestSet {
+	params := snn.DefaultParams()
+	rng := stats.NewRNG(seed)
+	ts := pattern.NewTestSet("random", arch, params)
+	for c := 0; c < nConfigs; c++ {
+		cfg := snn.New(arch, params)
+		for b := range cfg.W {
+			for i := range cfg.W[b] {
+				cfg.W[b][i] = -10 + 20*rng.Float64()
+			}
+		}
+		ci := ts.AddConfig(cfg)
+		for p := 0; p < patternsPer; p++ {
+			pat := snn.NewPattern(arch.Inputs())
+			for i := range pat {
+				pat[i] = rng.Float64() < 0.4
+			}
+			ts.AddItem(pattern.Item{
+				Label:       "rnd",
+				ConfigIndex: ci,
+				Pattern:     pat,
+				Timesteps:   5,
+				Repeat:      1,
+			})
+		}
+	}
+	return ts
+}
+
+// TestBruteForceEquivalence is the load-bearing cross-validation: the
+// incremental engine must agree with full simulation on EVERY fault of every
+// model over random configurations and patterns.
+func TestBruteForceEquivalence(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arches := []snn.Arch{
+		{4, 3, 2},
+		{5, 4, 3, 2},
+		{3, 1, 3}, // width-1 bottleneck
+		{6, 5, 4, 3, 2},
+	}
+	for ai, arch := range arches {
+		ts := randomTestSet(arch, 3, 4, uint64(100+ai))
+		eng := New(ts, values, nil)
+		for _, kind := range fault.Kinds() {
+			for _, f := range fault.Universe(arch, kind) {
+				want := bruteForce(ts, values, f)
+				got := eng.Detects(f)
+				if got != want {
+					t.Errorf("%v %v: engine=%v brute=%v", arch, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceEquivalenceQuick drives the same equivalence with random
+// seeds via testing/quick.
+func TestBruteForceEquivalenceQuick(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{4, 3, 3, 2}
+	f := func(seed uint64) bool {
+		ts := randomTestSet(arch, 2, 3, seed)
+		eng := New(ts, values, nil)
+		for _, kind := range fault.Kinds() {
+			for _, flt := range fault.Universe(arch, kind) {
+				if eng.Detects(flt) != bruteForce(ts, values, flt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectingItemOrder(t *testing.T) {
+	// DetectingItem returns the FIRST item that detects; verify against the
+	// per-item API.
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{4, 3, 2}
+	ts := randomTestSet(arch, 3, 3, 7)
+	eng := New(ts, values, nil)
+	for _, f := range fault.Universe(arch, SWFKindForTest()) {
+		idx := eng.DetectingItem(f)
+		if idx < 0 {
+			continue
+		}
+		for i := 0; i < idx; i++ {
+			if eng.DetectsOnItem(f, i) {
+				t.Fatalf("%v: item %d detects but DetectingItem returned %d", f, i, idx)
+			}
+		}
+		if !eng.DetectsOnItem(f, idx) {
+			t.Fatalf("%v: DetectingItem %d does not detect via DetectsOnItem", f, idx)
+		}
+	}
+}
+
+// SWFKindForTest avoids exporting fault kinds through this package.
+func SWFKindForTest() fault.Kind { return fault.SWF }
+
+func TestStuckAtProgrammedValueUndetectable(t *testing.T) {
+	// A SWF whose stuck value equals the programmed weight changes nothing.
+	values := fault.Values{ESFTheta: 0.05, HSFTheta: 0.95, SWFOmega: 1.0}
+	arch := snn.Arch{2, 2}
+	params := snn.DefaultParams()
+	ts := pattern.NewTestSet("t", arch, params)
+	cfg := snn.New(arch, params)
+	cfg.Fill(1.0) // every weight already equals ω̂
+	ci := ts.AddConfig(cfg)
+	ts.AddItem(pattern.Item{Label: "p", ConfigIndex: ci, Pattern: snn.OnesPattern(2), Timesteps: 3, Repeat: 1})
+	eng := New(ts, values, nil)
+	for _, f := range fault.Universe(arch, fault.SWF) {
+		if eng.Detects(f) {
+			t.Errorf("%v detected despite no behavioural change", f)
+		}
+	}
+}
+
+func TestZeroWeightSASFUndetectable(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{2, 2}
+	params := snn.DefaultParams()
+	ts := pattern.NewTestSet("t", arch, params)
+	cfg := snn.New(arch, params) // all-zero weights
+	ci := ts.AddConfig(cfg)
+	ts.AddItem(pattern.Item{Label: "p", ConfigIndex: ci, Pattern: snn.OnesPattern(2), Timesteps: 3, Repeat: 1})
+	eng := New(ts, values, nil)
+	for _, f := range fault.Universe(arch, fault.SASF) {
+		if eng.Detects(f) {
+			t.Errorf("%v detected despite zero weight", f)
+		}
+	}
+}
+
+func TestUndetectedAndCoverage(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{3, 2, 2}
+	ts := randomTestSet(arch, 2, 3, 5)
+	eng := New(ts, values, nil)
+	universe := fault.Universe(arch, fault.SWF)
+	missed := eng.Undetected(universe)
+	if got := eng.Coverage(universe); got != len(universe)-len(missed) {
+		t.Errorf("Coverage = %d, universe %d, missed %d", got, len(universe), len(missed))
+	}
+	for _, f := range missed {
+		if eng.Detects(f) {
+			t.Errorf("%v both missed and detected", f)
+		}
+	}
+}
+
+func TestTransformAppliesToConfigs(t *testing.T) {
+	// A transform that zeroes all weights must make every fault except NASF
+	// undetectable (no charge flows anywhere; NASF still forces spikes but
+	// cannot propagate, and on output neurons it IS detectable).
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{3, 2, 2}
+	ts := randomTestSet(arch, 1, 2, 3)
+	zero := func(n *snn.Network) *snn.Network {
+		c := n.Clone()
+		c.Fill(0)
+		return c
+	}
+	eng := New(ts, values, zero)
+	for _, f := range fault.Universe(arch, fault.SWF) {
+		// SWF: weight stuck at ω̂=1 from zero → detectable only via firing
+		// chain; charge of 1 > θ on first hop, but propagation weights are
+		// all zero, so only faults feeding output neurons detect.
+		if f.Synapse.Boundary == arch.Boundaries()-1 {
+			continue // may legitimately detect on output neurons
+		}
+		if eng.Detects(f) {
+			t.Errorf("%v detected through zeroed network", f)
+		}
+	}
+	for _, f := range fault.Universe(arch, fault.NASF) {
+		want := f.Neuron.Layer == len(arch)-1 // only output-layer NASF observable
+		if got := eng.Detects(f); got != want {
+			t.Errorf("NASF %v: detect=%v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestNumItems(t *testing.T) {
+	ts := randomTestSet(snn.Arch{3, 2}, 2, 4, 1)
+	eng := New(ts, fault.PaperValues(0.5), nil)
+	if eng.NumItems() != 8 {
+		t.Errorf("NumItems = %d, want 8", eng.NumItems())
+	}
+	if eng.TestSet() != ts {
+		t.Errorf("TestSet identity lost")
+	}
+}

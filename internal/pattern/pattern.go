@@ -1,0 +1,170 @@
+// Package pattern defines the portable containers for generated tests: a
+// TestSet groups test configurations (weight programmings) with the test
+// patterns applied under each configuration, mirroring how an ATE drives a
+// neuromorphic chip — program once, then apply patterns.
+//
+// The package also provides JSON and compact binary codecs so test sets can
+// be stored and shipped to test equipment.
+package pattern
+
+import (
+	"fmt"
+
+	"neurotest/internal/snn"
+)
+
+// Item is one (configuration, pattern) application. ConfigIndex refers into
+// TestSet.Configs; the same configuration may serve many patterns.
+type Item struct {
+	// Label documents what the item targets, e.g. "HSF L3 grp2".
+	Label string
+	// ConfigIndex selects the test configuration to program.
+	ConfigIndex int
+	// Pattern is the primary-input vector to apply.
+	Pattern snn.Pattern
+	// Hold presents the pattern in every timestep of the window instead of
+	// only at t = 0 (rate-coded application). The deterministic method
+	// needs single-shot application; application-level functional tests
+	// use held stimuli.
+	Hold bool
+	// Timesteps is the observation window length.
+	Timesteps int
+	// Repeat is how many times the pattern is applied on the tester (the
+	// paper's "test repetition"). The deterministic method needs 1;
+	// statistical baselines need hundreds to thousands.
+	Repeat int
+}
+
+// Mode returns the simulator input mode encoded by Hold.
+func (it Item) Mode() snn.InputMode {
+	if it.Hold {
+		return snn.ApplyHold
+	}
+	return snn.ApplyOnce
+}
+
+// TestSet is a complete test program for one chip family.
+type TestSet struct {
+	// Name identifies the generator ("proposed", "atcpg", ...).
+	Name string
+	// Arch and Params describe the chip the set was generated for.
+	Arch   snn.Arch
+	Params snn.Params
+	// Configs are the test configurations (only weights are significant).
+	Configs []*snn.Network
+	// Items are the pattern applications, in tester order.
+	Items []Item
+}
+
+// NewTestSet returns an empty test set for the given chip family.
+func NewTestSet(name string, arch snn.Arch, params snn.Params) *TestSet {
+	return &TestSet{Name: name, Arch: arch.Clone(), Params: params}
+}
+
+// AddConfig appends a configuration and returns its index.
+func (ts *TestSet) AddConfig(cfg *snn.Network) int {
+	ts.Configs = append(ts.Configs, cfg)
+	return len(ts.Configs) - 1
+}
+
+// AddItem appends an item. It panics when the item references a missing
+// configuration or carries a mis-sized pattern — both are generator bugs.
+func (ts *TestSet) AddItem(it Item) {
+	if it.ConfigIndex < 0 || it.ConfigIndex >= len(ts.Configs) {
+		panic(fmt.Sprintf("pattern: item %q references config %d of %d", it.Label, it.ConfigIndex, len(ts.Configs)))
+	}
+	if len(it.Pattern) != ts.Arch.Inputs() {
+		panic(fmt.Sprintf("pattern: item %q pattern width %d, want %d", it.Label, len(it.Pattern), ts.Arch.Inputs()))
+	}
+	if it.Repeat <= 0 {
+		it.Repeat = 1
+	}
+	if it.Timesteps <= 0 {
+		panic(fmt.Sprintf("pattern: item %q has no observation window", it.Label))
+	}
+	ts.Items = append(ts.Items, it)
+}
+
+// NumConfigs returns the number of test configurations (paper row 3).
+func (ts *TestSet) NumConfigs() int { return len(ts.Configs) }
+
+// NumPatterns returns the number of test patterns (paper row 4).
+func (ts *TestSet) NumPatterns() int { return len(ts.Items) }
+
+// MaxRepeat returns the largest per-item repetition (paper row 5 reports a
+// single representative repetition count per set).
+func (ts *TestSet) MaxRepeat() int {
+	m := 0
+	for _, it := range ts.Items {
+		if it.Repeat > m {
+			m = it.Repeat
+		}
+	}
+	return m
+}
+
+// TestLength returns Σ repeat over all items (paper row 6: number of test
+// patterns × test repetition).
+func (ts *TestSet) TestLength() int {
+	n := 0
+	for _, it := range ts.Items {
+		n += it.Repeat
+	}
+	return n
+}
+
+// Merge appends the configurations and items of other into ts, remapping
+// configuration indices. Both sets must target the same architecture.
+func (ts *TestSet) Merge(other *TestSet) {
+	if !ts.Arch.Equal(other.Arch) {
+		panic(fmt.Sprintf("pattern: cannot merge %v into %v", other.Arch, ts.Arch))
+	}
+	base := len(ts.Configs)
+	ts.Configs = append(ts.Configs, other.Configs...)
+	for _, it := range other.Items {
+		it.ConfigIndex += base
+		ts.Items = append(ts.Items, it)
+	}
+}
+
+// Clone returns a deep copy.
+func (ts *TestSet) Clone() *TestSet {
+	c := NewTestSet(ts.Name, ts.Arch, ts.Params)
+	for _, cfg := range ts.Configs {
+		c.Configs = append(c.Configs, cfg.Clone())
+	}
+	for _, it := range ts.Items {
+		it.Pattern = it.Pattern.Clone()
+		c.Items = append(c.Items, it)
+	}
+	return c
+}
+
+// Validate checks internal consistency (indices, widths, windows). A test
+// set freshly produced by a generator always validates; the check guards
+// deserialized data.
+func (ts *TestSet) Validate() error {
+	if err := ts.Arch.Validate(); err != nil {
+		return err
+	}
+	for ci, cfg := range ts.Configs {
+		if !cfg.Arch.Equal(ts.Arch) {
+			return fmt.Errorf("pattern: config %d architecture %v, want %v", ci, cfg.Arch, ts.Arch)
+		}
+	}
+	for i, it := range ts.Items {
+		if it.ConfigIndex < 0 || it.ConfigIndex >= len(ts.Configs) {
+			return fmt.Errorf("pattern: item %d (%q) references config %d of %d", i, it.Label, it.ConfigIndex, len(ts.Configs))
+		}
+		if len(it.Pattern) != ts.Arch.Inputs() {
+			return fmt.Errorf("pattern: item %d (%q) pattern width %d, want %d", i, it.Label, len(it.Pattern), ts.Arch.Inputs())
+		}
+		if it.Timesteps <= 0 || it.Timesteps > snn.MaxTimesteps {
+			return fmt.Errorf("pattern: item %d (%q) timesteps %d out of range", i, it.Label, it.Timesteps)
+		}
+		if it.Repeat <= 0 {
+			return fmt.Errorf("pattern: item %d (%q) repeat %d", i, it.Label, it.Repeat)
+		}
+	}
+	return nil
+}

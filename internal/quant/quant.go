@@ -1,0 +1,89 @@
+// Package quant implements uniform symmetric weight quantization, replacing
+// the Brevitas substrate of the paper. Weights are snapped to a signed
+// fixed-point grid over [-ωmax, ωmax].
+//
+// The paper's key observation (Section 3.1) is that generated test
+// configurations use at most six distinct weight levels — 0, ±ωmax, ±ωmax/2
+// and (θ+θ̂)/2 — so quantization at 4 bits or more leaves test behaviour
+// intact. The quantizer here makes that property measurable: callers can ask
+// for the worst-case snap error of a configuration.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"neurotest/internal/snn"
+)
+
+// Quantizer snaps weights to a symmetric uniform grid with 2^Bits-1 signed
+// levels spanning [-Max, Max] (one level is zero; the grid is symmetric, so
+// e.g. 8 bits gives 255 usable levels from -127·Δ to +127·Δ with
+// Δ = Max/127).
+type Quantizer struct {
+	Bits int
+	Max  float64
+}
+
+// New returns a quantizer with the given bit width over [-max, max]. It
+// panics for bit widths outside [2, 16] or non-positive ranges; both are
+// construction-time programmer errors.
+func New(bits int, max float64) Quantizer {
+	if bits < 2 || bits > 16 {
+		panic(fmt.Sprintf("quant: bit width must be in [2,16], got %d", bits))
+	}
+	if max <= 0 {
+		panic(fmt.Sprintf("quant: range must be positive, got %g", max))
+	}
+	return Quantizer{Bits: bits, Max: max}
+}
+
+// Levels returns the number of representable values (2^Bits - 1).
+func (q Quantizer) Levels() int { return 1<<uint(q.Bits) - 1 }
+
+// Step returns the grid spacing Δ.
+func (q Quantizer) Step() float64 {
+	half := float64(int(1)<<uint(q.Bits-1) - 1)
+	return q.Max / half
+}
+
+// Quantize snaps one weight to the nearest grid point, saturating at ±Max.
+func (q Quantizer) Quantize(w float64) float64 {
+	step := q.Step()
+	level := math.Round(w / step)
+	half := float64(int(1)<<uint(q.Bits-1) - 1)
+	if level > half {
+		level = half
+	} else if level < -half {
+		level = -half
+	}
+	return level * step
+}
+
+// Error returns the snap error |Quantize(w) - w|.
+func (q Quantizer) Error(w float64) float64 {
+	return math.Abs(q.Quantize(w) - w)
+}
+
+// QuantizeNetwork snaps every weight of net in place and returns the largest
+// snap error encountered. Callers quantize a clone when they need to keep
+// the ideal configuration.
+func (q Quantizer) QuantizeNetwork(net *snn.Network) float64 {
+	worst := 0.0
+	for b := range net.W {
+		row := net.W[b]
+		for i, w := range row {
+			qw := q.Quantize(w)
+			if e := math.Abs(qw - w); e > worst {
+				worst = e
+			}
+			row[i] = qw
+		}
+	}
+	return worst
+}
+
+// Representable reports whether w lies exactly on the grid (within eps).
+func (q Quantizer) Representable(w float64, eps float64) bool {
+	return q.Error(w) <= eps
+}

@@ -1,0 +1,223 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+)
+
+func TestQuantizerBasics(t *testing.T) {
+	q := New(8, 10)
+	if got := q.Levels(); got != 255 {
+		t.Errorf("Levels = %d, want 255", got)
+	}
+	if got := q.Step(); math.Abs(got-10.0/127) > 1e-12 {
+		t.Errorf("Step = %g", got)
+	}
+	// Extremes land exactly on the grid.
+	if got := q.Quantize(10); got != 10 {
+		t.Errorf("Quantize(10) = %g", got)
+	}
+	if got := q.Quantize(-10); got != -10 {
+		t.Errorf("Quantize(-10) = %g", got)
+	}
+	if got := q.Quantize(0); got != 0 {
+		t.Errorf("Quantize(0) = %g", got)
+	}
+	// Saturation beyond the range.
+	if got := q.Quantize(50); got != 10 {
+		t.Errorf("Quantize(50) = %g", got)
+	}
+	if got := q.Quantize(-50); got != -10 {
+		t.Errorf("Quantize(-50) = %g", got)
+	}
+}
+
+func TestQuantizerPanics(t *testing.T) {
+	assertPanics(t, "bits too small", func() { New(1, 10) })
+	assertPanics(t, "bits too large", func() { New(17, 10) })
+	assertPanics(t, "bad range", func() { New(8, 0) })
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	// Property: snap error is at most half a step inside the range, and
+	// quantization is idempotent.
+	q := New(6, 10)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		w := -10 + 20*r.Float64()
+		qw := q.Quantize(w)
+		if q.Error(w) > q.Step()/2+1e-12 {
+			return false
+		}
+		return q.Quantize(qw) == qw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeNetworkInPlace(t *testing.T) {
+	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
+	net.SetEntry(0, 0, 0, 3.33)
+	net.SetEntry(0, 1, 1, -7.77)
+	q := New(4, 10)
+	worst := q.QuantizeNetwork(net)
+	if worst > q.Step()/2+1e-12 {
+		t.Errorf("worst error %g exceeds half step %g", worst, q.Step()/2)
+	}
+	for b := range net.W {
+		for _, w := range net.W[b] {
+			if q.Error(w) > 1e-12 {
+				t.Errorf("weight %g not on grid", w)
+			}
+		}
+	}
+}
+
+func TestRepresentable(t *testing.T) {
+	q := New(4, 10)
+	step := q.Step()
+	if !q.Representable(3*step, 1e-12) {
+		t.Errorf("grid point not representable")
+	}
+	if q.Representable(3.4*step, 1e-12) {
+		t.Errorf("off-grid value representable")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	s := NewScheme(8, PerChannel)
+	if got := s.String(); got != "8-bit per-channel" {
+		t.Errorf("String = %q", got)
+	}
+	if PerNetwork.String() != "per-network" || PerBoundary.String() != "per-boundary" {
+		t.Errorf("granularity strings wrong")
+	}
+	if Granularity(9).String() != "Granularity(9)" {
+		t.Errorf("unknown granularity string")
+	}
+}
+
+func TestSchemeMaxAbsCalibration(t *testing.T) {
+	// The largest magnitude of each group must survive quantization exactly
+	// (max-abs maps to the top code).
+	net := snn.New(snn.Arch{3, 2, 2}, snn.DefaultParams())
+	net.SetEntry(0, 0, 0, 0.275)
+	net.SetEntry(0, 1, 1, -10)
+	net.SetEntry(1, 0, 0, 0.725)
+	for _, gran := range []Granularity{PerNetwork, PerBoundary, PerChannel} {
+		s := NewScheme(8, gran)
+		c, _ := s.QuantizedClone(net)
+		if got := c.Entry(0, 1, 1); got != -10 {
+			t.Errorf("%v: max magnitude moved to %g", gran, got)
+		}
+	}
+}
+
+func TestPerChannelPreservesPaperLevels(t *testing.T) {
+	// The key property behind the paper's 4-bit claim: a column holding
+	// {v, 0} quantizes exactly at any width under per-channel scales,
+	// because v is the column max.
+	net := snn.New(snn.Arch{4, 2}, snn.DefaultParams())
+	net.SetEntry(0, 0, 0, 0.275) // ω_pt of ESF
+	net.SetEntry(0, 0, 1, 0.725) // ω_pt of HSF
+	// column 0: {0.275, 0, 0, 0}; column 1: {0.725, 0, 0, 0}
+	s := NewScheme(4, PerChannel)
+	c, worst := s.QuantizedClone(net)
+	if worst > 1e-12 {
+		t.Errorf("worst snap error %g, want exact", worst)
+	}
+	if c.Entry(0, 0, 0) != 0.275 || c.Entry(0, 0, 1) != 0.725 {
+		t.Errorf("paper levels moved: %g %g", c.Entry(0, 0, 0), c.Entry(0, 0, 1))
+	}
+}
+
+func TestPerBoundary4BitBreaksMixedColumns(t *testing.T) {
+	// The counter-case: a boundary mixing 0.725 with ±10 cannot hold 0.725
+	// on a 4-bit shared grid (step 10/7 ≈ 1.43).
+	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
+	net.SetEntry(0, 0, 0, 0.725)
+	net.SetEntry(0, 1, 1, -10)
+	s := NewScheme(4, PerBoundary)
+	c, _ := s.QuantizedClone(net)
+	got := c.Entry(0, 0, 0)
+	if got == 0.725 {
+		t.Errorf("0.725 survived a 4-bit shared grid; expected snap to 0 or 10/7")
+	}
+	if got != 0 && math.Abs(got-10.0/7) > 1e-9 {
+		t.Errorf("unexpected snap target %g", got)
+	}
+}
+
+func TestSchemeZeroGroup(t *testing.T) {
+	// An all-zero column/boundary/network quantizes to all zeros without
+	// dividing by zero.
+	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
+	for _, gran := range []Granularity{PerNetwork, PerBoundary, PerChannel} {
+		s := NewScheme(8, gran)
+		c, worst := s.QuantizedClone(net)
+		if worst != 0 {
+			t.Errorf("%v: worst error %g on zero network", gran, worst)
+		}
+		for b := range c.W {
+			for _, w := range c.W[b] {
+				if w != 0 {
+					t.Errorf("%v: zero network gained weight %g", gran, w)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeIdempotentQuick(t *testing.T) {
+	f := func(seed uint64, granPick uint8) bool {
+		gran := Granularity(int(granPick) % 3)
+		s := NewScheme(6, gran)
+		net := snn.New(snn.Arch{3, 3, 2}, snn.DefaultParams())
+		r := stats.NewRNG(seed)
+		for b := range net.W {
+			for i := range net.W[b] {
+				net.W[b][i] = -10 + 20*r.Float64()
+			}
+		}
+		once, _ := s.QuantizedClone(net)
+		twice, worst := s.QuantizedClone(once)
+		if worst > 1e-9 {
+			return false
+		}
+		for b := range once.W {
+			for i := range once.W[b] {
+				if math.Abs(once.W[b][i]-twice.W[b][i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemePanics(t *testing.T) {
+	assertPanics(t, "bits", func() { NewScheme(1, PerChannel) })
+	assertPanics(t, "gran", func() {
+		s := Scheme{Bits: 8, Gran: Granularity(9)}
+		net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
+		s.QuantizeNetwork(net)
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

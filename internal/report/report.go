@@ -1,0 +1,182 @@
+// Package report renders experiment results as aligned ASCII tables and CSV
+// series, matching the rows of the paper's Tables 5/6 and the series of
+// Fig. 4 so outputs are directly comparable side by side.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple row-oriented table with a header column.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Header)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of a figure: y values over shared x values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure collects series over a shared x axis, rendering as CSV (one column
+// per series) for plotting, plus an ASCII preview.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// NewFigure creates a figure with the shared x axis.
+func NewFigure(title, xlabel, ylabel string, x []float64) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel, X: x}
+}
+
+// AddSeries appends one line. y must match the x axis length.
+func (f *Figure) AddSeries(name string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("report: series %q has %d points, axis has %d", name, len(y), len(f.X)))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+}
+
+// RenderCSV writes the figure as CSV: x in the first column, one column per
+// series.
+func (f *Figure) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", f.Title)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			row = append(row, trimFloat(s.Y[i]))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// RenderASCII writes a quick terminal preview: a table of the same values.
+func (f *Figure) RenderASCII(w io.Writer) {
+	t := NewTable(fmt.Sprintf("%s (%s vs %s)", f.Title, f.YLabel, f.XLabel))
+	t.Header = append(t.Header, f.XLabel)
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			row = append(row, trimFloat(s.Y[i]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Ratio formats a "ours vs theirs" improvement factor the way the paper
+// quotes it ("73,826 times shorter").
+func Ratio(theirs, ours int) string {
+	if ours == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.0fx", float64(theirs)/float64(ours))
+}
+
+// Comma formats an integer with thousands separators, as the paper's tables
+// print test lengths.
+func Comma(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

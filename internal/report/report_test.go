@@ -1,0 +1,150 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Errorf("title missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	width := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != width {
+			t.Errorf("line %d width %d != %d", i, len(l), width)
+		}
+	}
+	if !strings.Contains(lines[4], "beta") {
+		t.Errorf("padded short row missing: %q", lines[4])
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("Fig", "sigma", "escape", []float64{0.05, 0.1})
+	f.AddSeries("proposed", []float64{0, 0})
+	f.AddSeries("atcpg", []float64{1.5, 2.25})
+	var sb strings.Builder
+	f.RenderCSV(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "# Fig" {
+		t.Errorf("comment = %q", lines[0])
+	}
+	if lines[1] != "sigma,proposed,atcpg" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[2] != "0.05,0,1.5" {
+		t.Errorf("row = %q, want %q", lines[2], "0.05,0,1.5")
+	}
+	if lines[3] != "0.1,0,2.25" {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestFigureASCII(t *testing.T) {
+	f := NewFigure("Fig", "x", "y", []float64{1})
+	f.AddSeries("s", []float64{2})
+	var sb strings.Builder
+	f.RenderASCII(&sb)
+	if !strings.Contains(sb.String(), "Fig") || !strings.Contains(sb.String(), "2") {
+		t.Errorf("ascii preview: %q", sb.String())
+	}
+}
+
+func TestFigureSeriesLengthPanic(t *testing.T) {
+	f := NewFigure("Fig", "x", "y", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for mismatched series")
+		}
+	}()
+	f.AddSeries("bad", []float64{1})
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(73826, 1); got != "73826x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(10, 0); got != "∞" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+	if got := Ratio(100, 3); got != "33x" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		155968:   "155,968",
+		-1234567: "-1,234,567",
+	}
+	for n, want := range cases {
+		if got := Comma(n); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1.5:    "1.5",
+		2:      "2",
+		0.0001: "0.0001",
+		100:    "100",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	f := NewFigure("Fig 4 <escape>", "sigma/theta", "escape %", []float64{0.05, 0.1, 0.2})
+	f.AddSeries("Proposed", []float64{0, 0, 0})
+	f.AddSeries("ATCPG & co", []float64{50, 51, 50})
+	var sb strings.Builder
+	f.RenderSVG(&sb)
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Fig 4 &lt;escape&gt;", "ATCPG &amp; co", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines")
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("SVG contains non-finite coordinates")
+	}
+}
+
+func TestRenderSVGDegenerate(t *testing.T) {
+	// Single point, flat values, empty series list: must not emit NaN.
+	f := NewFigure("flat", "x", "y", []float64{1})
+	f.AddSeries("s", []float64{5})
+	var sb strings.Builder
+	f.RenderSVG(&sb)
+	if strings.Contains(sb.String(), "NaN") {
+		t.Errorf("degenerate figure produced NaN")
+	}
+	empty := NewFigure("empty", "x", "y", nil)
+	sb.Reset()
+	empty.RenderSVG(&sb)
+	if strings.Contains(sb.String(), "NaN") {
+		t.Errorf("empty figure produced NaN")
+	}
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the stroke colours assigned to series in order.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// RenderSVG writes the figure as a standalone SVG line chart: axes with
+// ticks, one polyline per series with point markers, and a legend — enough
+// to drop the reproduction figures straight into a paper or README.
+func (f *Figure) RenderSVG(w io.Writer) {
+	const (
+		width   = 640.0
+		height  = 420.0
+		left    = 70.0
+		right   = 24.0
+		top     = 46.0
+		bottom  = 56.0
+		plotW   = width - left - right
+		plotH   = height - top - bottom
+		fontCSS = `font-family="Helvetica,Arial,sans-serif"`
+	)
+
+	xMin, xMax := rangeOf(f.X)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		lo, hi := rangeOf(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if len(f.Series) == 0 {
+		yMin, yMax = 0, 1
+	}
+	// Pad degenerate ranges so flat lines render mid-plot.
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// A little headroom on the y axis.
+	yPad := 0.05 * (yMax - yMin)
+	yMax += yPad
+	if yMin > 0 && yMin-yPad < 0 {
+		yMin = 0
+	} else {
+		yMin -= yPad
+	}
+
+	px := func(x float64) float64 { return left + plotW*(x-xMin)/(xMax-xMin) }
+	py := func(y float64) float64 { return top + plotH*(1-(y-yMin)/(yMax-yMin)) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%g" y="24" text-anchor="middle" font-size="15" %s>%s</text>`+"\n",
+		width/2, fontCSS, escapeXML(f.Title))
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		left, top+plotH, left+plotW, top+plotH)
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		left, top, left, top+plotH)
+
+	// Ticks: 5 per axis, with light grid lines.
+	for i := 0; i <= 5; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/5
+		fy := yMin + (yMax-yMin)*float64(i)/5
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			px(fx), top, px(fx), top+plotH)
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			left, py(fy), left+plotW, py(fy))
+		fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="middle" font-size="11" %s>%s</text>`+"\n",
+			px(fx), top+plotH+18, fontCSS, trimFloat(fx))
+		fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="end" font-size="11" %s>%s</text>`+"\n",
+			left-8, py(fy)+4, fontCSS, trimFloat(fy))
+	}
+	fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="middle" font-size="13" %s>%s</text>`+"\n",
+		left+plotW/2, height-14, fontCSS, escapeXML(f.XLabel))
+	fmt.Fprintf(w, `<text x="18" y="%g" text-anchor="middle" font-size="13" %s transform="rotate(-90 18 %g)">%s</text>`+"\n",
+		top+plotH/2, fontCSS, top+plotH/2, escapeXML(f.YLabel))
+
+	// Series.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i, y := range s.Y {
+			pts = append(pts, fmt.Sprintf("%g,%g", px(f.X[i]), py(y)))
+		}
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, y := range s.Y {
+			fmt.Fprintf(w, `<circle cx="%g" cy="%g" r="3.2" fill="%s"/>`+"\n",
+				px(f.X[i]), py(y), color)
+		}
+		// Legend entry.
+		ly := top + 8 + float64(si)*18
+		fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			left+plotW-150, ly, left+plotW-126, ly, color)
+		fmt.Fprintf(w, `<text x="%g" y="%g" font-size="12" %s>%s</text>`+"\n",
+			left+plotW-120, ly+4, fontCSS, escapeXML(s.Name))
+	}
+	fmt.Fprintln(w, `</svg>`)
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

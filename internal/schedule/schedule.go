@@ -1,0 +1,144 @@
+// Package schedule orders a test program for minimum tester time.
+//
+// On a neuromorphic DUT, programming a test configuration means writing
+// every synaptic weight — orders of magnitude slower than applying one
+// pattern. Total tester time is therefore dominated by how often the chip
+// is reprogrammed: applying items in an order that groups all patterns of
+// each configuration together reaches the lower bound of one programming
+// per distinct configuration.
+//
+// The package provides that grouping (stable: configurations keep their
+// first-appearance order, patterns keep their relative order), a cost
+// model to quantify the win, and a checker that a schedule is a
+// permutation of the original program.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"neurotest/internal/pattern"
+)
+
+// CostModel prices tester operations in arbitrary time units.
+type CostModel struct {
+	// WeightWriteCost is the cost of writing one synaptic weight during
+	// configuration programming.
+	WeightWriteCost float64
+	// PatternCost is the cost of applying one pattern once (drive inputs,
+	// observe the window).
+	PatternCost float64
+}
+
+// DefaultCostModel reflects a memristive crossbar: weight writes are the
+// expensive operation (program-and-verify pulses), pattern application is
+// one observation window.
+func DefaultCostModel() CostModel {
+	return CostModel{WeightWriteCost: 1, PatternCost: 10}
+}
+
+// Cost returns the tester time of running ts in its stored item order:
+// every switch to a different configuration (including revisits) pays a
+// full reprogramming of all weights.
+func (c CostModel) Cost(ts *pattern.TestSet) float64 {
+	weights := float64(ts.Arch.Synapses())
+	total := 0.0
+	current := -1
+	for _, it := range ts.Items {
+		if it.ConfigIndex != current {
+			total += weights * c.WeightWriteCost
+			current = it.ConfigIndex
+		}
+		total += float64(it.Repeat) * c.PatternCost
+	}
+	return total
+}
+
+// Programmings counts how many configuration writes the stored order needs.
+func Programmings(ts *pattern.TestSet) int {
+	n := 0
+	current := -1
+	for _, it := range ts.Items {
+		if it.ConfigIndex != current {
+			n++
+			current = it.ConfigIndex
+		}
+	}
+	return n
+}
+
+// Group returns a new test set whose items are stably grouped by
+// configuration: each configuration is programmed exactly once, which is
+// optimal for any cost model that prices reprogramming positively.
+func Group(ts *pattern.TestSet) *pattern.TestSet {
+	out := ts.Clone()
+	// First-appearance rank per configuration.
+	rank := make(map[int]int)
+	for _, it := range ts.Items {
+		if _, ok := rank[it.ConfigIndex]; !ok {
+			rank[it.ConfigIndex] = len(rank)
+		}
+	}
+	sort.SliceStable(out.Items, func(i, j int) bool {
+		return rank[out.Items[i].ConfigIndex] < rank[out.Items[j].ConfigIndex]
+	})
+	out.Name = ts.Name + "-scheduled"
+	return out
+}
+
+// Verify checks that scheduled is a permutation of original (same
+// configurations, same multiset of items) — the property that guarantees
+// identical coverage.
+func Verify(original, scheduled *pattern.TestSet) error {
+	if !original.Arch.Equal(scheduled.Arch) {
+		return fmt.Errorf("schedule: architecture changed")
+	}
+	if len(original.Items) != len(scheduled.Items) {
+		return fmt.Errorf("schedule: item count %d -> %d", len(original.Items), len(scheduled.Items))
+	}
+	if len(original.Configs) != len(scheduled.Configs) {
+		return fmt.Errorf("schedule: config count %d -> %d", len(original.Configs), len(scheduled.Configs))
+	}
+	count := func(ts *pattern.TestSet) map[string]int {
+		m := make(map[string]int)
+		for _, it := range ts.Items {
+			key := fmt.Sprintf("%d|%s|%d|%d|%v|%v", it.ConfigIndex, it.Label, it.Timesteps, it.Repeat, it.Hold, it.Pattern)
+			m[key]++
+		}
+		return m
+	}
+	a, b := count(original), count(scheduled)
+	for k, n := range a {
+		if b[k] != n {
+			return fmt.Errorf("schedule: item multiset changed at %q", k)
+		}
+	}
+	return nil
+}
+
+// Report summarises what scheduling saved.
+type Report struct {
+	ProgrammingsBefore int
+	ProgrammingsAfter  int
+	CostBefore         float64
+	CostAfter          float64
+}
+
+// Speedup returns CostBefore / CostAfter.
+func (r Report) Speedup() float64 {
+	if r.CostAfter == 0 {
+		return 1
+	}
+	return r.CostBefore / r.CostAfter
+}
+
+// Optimize groups ts and reports the cost change under the model.
+func Optimize(ts *pattern.TestSet, c CostModel) (*pattern.TestSet, Report) {
+	out := Group(ts)
+	return out, Report{
+		ProgrammingsBefore: Programmings(ts),
+		ProgrammingsAfter:  Programmings(out),
+		CostBefore:         c.Cost(ts),
+		CostAfter:          c.Cost(out),
+	}
+}

@@ -1,0 +1,119 @@
+package snn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArchValidate(t *testing.T) {
+	cases := []struct {
+		arch Arch
+		ok   bool
+	}{
+		{Arch{576, 256, 32, 10}, true},
+		{Arch{2, 2}, true},
+		{Arch{5}, false},
+		{Arch{}, false},
+		{Arch{4, 0, 3}, false},
+		{Arch{4, -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.arch.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", tc.arch, err, tc.ok)
+		}
+	}
+}
+
+func TestArchCounts(t *testing.T) {
+	a := Arch{576, 256, 32, 10}
+	if got := a.Layers(); got != 4 {
+		t.Errorf("Layers = %d", got)
+	}
+	if got := a.Inputs(); got != 576 {
+		t.Errorf("Inputs = %d", got)
+	}
+	if got := a.Outputs(); got != 10 {
+		t.Errorf("Outputs = %d", got)
+	}
+	if got := a.Boundaries(); got != 3 {
+		t.Errorf("Boundaries = %d", got)
+	}
+	if got := a.Neurons(); got != 874 {
+		t.Errorf("Neurons = %d", got)
+	}
+	// The paper's fault-universe sizes (Tables 5 and 6).
+	if got := a.HiddenAndOutputNeurons(); got != 298 {
+		t.Errorf("HiddenAndOutputNeurons = %d, paper says 298", got)
+	}
+	if got := a.Synapses(); got != 155968 {
+		t.Errorf("Synapses = %d, paper says 155968", got)
+	}
+	b := Arch{576, 256, 64, 32, 10}
+	if got := b.HiddenAndOutputNeurons(); got != 362 {
+		t.Errorf("5-layer neurons = %d, paper says 362", got)
+	}
+	if got := b.Synapses(); got != 166208 {
+		t.Errorf("5-layer synapses = %d, paper says 166208", got)
+	}
+	if got := b.MaxWidth(); got != 576 {
+		t.Errorf("MaxWidth = %d", got)
+	}
+}
+
+func TestArchCloneEqualString(t *testing.T) {
+	a := Arch{3, 2, 1}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Errorf("clone not equal")
+	}
+	c[0] = 9
+	if a.Equal(c) {
+		t.Errorf("clone aliases original")
+	}
+	if a.Equal(Arch{3, 2}) {
+		t.Errorf("different lengths compare equal")
+	}
+	if got := a.String(); got != "3-2-1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	n := NeuronID{Layer: 1, Index: 2}
+	if got := n.String(); got != "n[2,3]" {
+		t.Errorf("NeuronID.String = %q", got)
+	}
+	s := SynapseID{Boundary: 0, Pre: 4, Post: 5}
+	if got := s.String(); got != "w[1,5,6]" {
+		t.Errorf("SynapseID.String = %q", got)
+	}
+}
+
+func TestArchInvariantsQuick(t *testing.T) {
+	// Property: neurons = inputs + hidden-and-output; synapses equals the
+	// sum of boundary products, for arbitrary small architectures.
+	f := func(widths []uint8) bool {
+		if len(widths) < 2 {
+			return true
+		}
+		if len(widths) > 6 {
+			widths = widths[:6]
+		}
+		arch := make(Arch, len(widths))
+		for i, w := range widths {
+			arch[i] = int(w%7) + 1
+		}
+		if arch.Neurons() != arch.Inputs()+arch.HiddenAndOutputNeurons() {
+			return false
+		}
+		syn := 0
+		for b := 0; b+1 < len(arch); b++ {
+			syn += arch[b] * arch[b+1]
+		}
+		return syn == arch.Synapses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

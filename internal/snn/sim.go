@@ -1,0 +1,319 @@
+package snn
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxTimesteps bounds the observation window so spike trains fit in a
+// uint64 bitmask, which the incremental fault simulator relies on.
+const MaxTimesteps = 64
+
+// Pattern is one test pattern: a binary primary-input vector (the paper's
+// I). True means the primary input delivers a spike to that input neuron.
+type Pattern []bool
+
+// NewPattern returns an all-zero pattern of width n.
+func NewPattern(n int) Pattern { return make(Pattern, n) }
+
+// OnesPattern returns an all-one pattern of width n.
+func OnesPattern(n int) Pattern {
+	p := make(Pattern, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}
+
+// Clone returns an independent copy of the pattern.
+func (p Pattern) Clone() Pattern {
+	c := make(Pattern, len(p))
+	copy(c, p)
+	return c
+}
+
+// CountOnes returns the number of asserted inputs.
+func (p Pattern) CountOnes() int {
+	n := 0
+	for _, v := range p {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// InputMode selects how a pattern drives the input layer over time.
+type InputMode int
+
+const (
+	// ApplyOnce presents the pattern in timestep 0 only; later timesteps
+	// have silent primary inputs. This is the mode the deterministic test
+	// generation assumes.
+	ApplyOnce InputMode = iota
+	// ApplyHold presents the pattern in every timestep of the window.
+	ApplyHold
+)
+
+// Modifiers describes behavioural deviations injected into a simulation run.
+// The fault package maps each of its five fault models onto these hooks; the
+// simulator itself stays fault-model agnostic.
+//
+// The zero value means "no deviation" (a good chip).
+type Modifiers struct {
+	// ThresholdOverride replaces the firing threshold of specific neurons
+	// (ESF/HSF: θ → θ̂). Input-layer neurons have no threshold and must
+	// not appear here.
+	ThresholdOverride map[NeuronID]float64
+	// ForceSpike makes specific neurons fire every timestep regardless of
+	// their MP (NASF). Valid for any layer including the input layer.
+	ForceSpike map[NeuronID]bool
+	// StuckWeight replaces the effective weight of specific synapses
+	// (SWF: w → ω̂) without mutating the network.
+	StuckWeight map[SynapseID]float64
+	// AlwaysOnSynapse makes specific synapses transmit a spike every
+	// timestep (SASF): the synapse contributes its weight each step no
+	// matter whether its presynaptic neuron fired.
+	AlwaysOnSynapse map[SynapseID]bool
+}
+
+// Empty reports whether the modifier set injects nothing.
+func (m *Modifiers) Empty() bool {
+	return m == nil || (len(m.ThresholdOverride) == 0 && len(m.ForceSpike) == 0 &&
+		len(m.StuckWeight) == 0 && len(m.AlwaysOnSynapse) == 0)
+}
+
+// Result is the observable outcome of a simulation: how many spikes each
+// output neuron fired inside the observation window. Per Section 3.4 of the
+// paper this vector *is* the chip output used for pass/fail comparison.
+type Result struct {
+	// SpikeCounts has one entry per output neuron.
+	SpikeCounts []int
+}
+
+// Equal reports whether two results are indistinguishable on the tester.
+func (r Result) Equal(o Result) bool {
+	if len(r.SpikeCounts) != len(o.SpikeCounts) {
+		return false
+	}
+	for i := range r.SpikeCounts {
+		if r.SpikeCounts[i] != o.SpikeCounts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is the full internal activity of one simulation run, recorded by
+// Simulator.RunTrace. The incremental fault simulator replays faults against
+// a good trace instead of re-simulating the whole network.
+type Trace struct {
+	Timesteps int
+	// X[k][i] is the spike train of neuron i in layer k: bit t is set when
+	// the neuron fired in timestep t.
+	X [][]uint64
+	// Y[k] holds the weighted input sums of layer k (k >= 1), indexed
+	// t*width+j: the paper's y^{k+1,j} at timestep t.
+	Y [][]float64
+}
+
+// SpikeTrain returns the spike train bitmask of a neuron.
+func (tr *Trace) SpikeTrain(id NeuronID) uint64 { return tr.X[id.Layer][id.Index] }
+
+// OutputResult derives the observable Result from the trace.
+func (tr *Trace) OutputResult() Result {
+	out := tr.X[len(tr.X)-1]
+	counts := make([]int, len(out))
+	for i, train := range out {
+		counts[i] = bits.OnesCount64(train)
+	}
+	return Result{SpikeCounts: counts}
+}
+
+// Simulator runs time-stepped LIF simulation of one network. It is
+// stateless between runs and safe to reuse; it is not safe for concurrent
+// use because it reuses internal buffers.
+type Simulator struct {
+	net *Network
+	// scratch state, allocated once per network shape
+	mp     [][]float64
+	spikes [][]bool
+	y      [][]float64
+}
+
+// NewSimulator returns a simulator bound to net. The network may be mutated
+// between runs (weights only); architecture changes require a new simulator.
+func NewSimulator(net *Network) *Simulator {
+	s := &Simulator{net: net}
+	L := net.Arch.Layers()
+	s.mp = make([][]float64, L)
+	s.spikes = make([][]bool, L)
+	s.y = make([][]float64, L)
+	for k := 0; k < L; k++ {
+		s.mp[k] = make([]float64, net.Arch[k])
+		s.spikes[k] = make([]bool, net.Arch[k])
+		s.y[k] = make([]float64, net.Arch[k])
+	}
+	return s
+}
+
+// Network returns the network the simulator is bound to.
+func (s *Simulator) Network() *Network { return s.net }
+
+func (s *Simulator) reset() {
+	for k := range s.mp {
+		for i := range s.mp[k] {
+			s.mp[k][i] = 0
+			s.spikes[k][i] = false
+		}
+	}
+}
+
+// Run simulates the network for timesteps steps driven by pattern and
+// returns the observable output. mods may be nil for a good chip.
+func (s *Simulator) Run(pattern Pattern, timesteps int, mode InputMode, mods *Modifiers) Result {
+	res, _ := s.run(pattern, timesteps, mode, mods, false)
+	return res
+}
+
+// RunTrace simulates like Run but additionally records the full activity
+// trace (spike trains and weighted input sums of every neuron).
+func (s *Simulator) RunTrace(pattern Pattern, timesteps int, mode InputMode, mods *Modifiers) (Result, *Trace) {
+	return s.run(pattern, timesteps, mode, mods, true)
+}
+
+func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Modifiers, wantTrace bool) (Result, *Trace) {
+	arch := s.net.Arch
+	if len(pattern) != arch.Inputs() {
+		panic(fmt.Sprintf("snn: pattern width %d does not match input layer %d", len(pattern), arch.Inputs()))
+	}
+	if timesteps <= 0 || timesteps > MaxTimesteps {
+		panic(fmt.Sprintf("snn: timesteps must be in [1,%d], got %d", MaxTimesteps, timesteps))
+	}
+	s.reset()
+	L := arch.Layers()
+	theta := s.net.Params.Theta
+	leak := s.net.Params.Leak
+	subtract := s.net.Params.Reset == ResetSubtract
+
+	var trace *Trace
+	if wantTrace {
+		trace = &Trace{Timesteps: timesteps}
+		trace.X = make([][]uint64, L)
+		trace.Y = make([][]float64, L)
+		for k := 0; k < L; k++ {
+			trace.X[k] = make([]uint64, arch[k])
+			if k > 0 {
+				trace.Y[k] = make([]float64, timesteps*arch[k])
+			}
+		}
+	}
+
+	counts := make([]int, arch.Outputs())
+
+	for t := 0; t < timesteps; t++ {
+		// Input layer: relay primary inputs. Input neurons have no MP.
+		in := s.spikes[0]
+		active := t == 0 || mode == ApplyHold
+		for i := range in {
+			in[i] = active && pattern[i]
+		}
+		if mods != nil {
+			for id := range mods.ForceSpike {
+				if id.Layer == 0 {
+					in[id.Index] = true
+				}
+			}
+		}
+		if wantTrace {
+			for i, sp := range in {
+				if sp {
+					trace.X[0][i] |= 1 << uint(t)
+				}
+			}
+		}
+
+		// Hidden and output layers: integrate-and-fire sweep. Within a
+		// timestep the wavefront traverses all layers, so one timestep
+		// carries a primary-input spike to the primary outputs.
+		for k := 1; k < L; k++ {
+			nIn, nOut := arch[k-1], arch[k]
+			y := s.y[k]
+			for j := 0; j < nOut; j++ {
+				y[j] = 0
+			}
+			w := s.net.W[k-1]
+			pre := s.spikes[k-1]
+			for i := 0; i < nIn; i++ {
+				if !pre[i] {
+					continue
+				}
+				row := w[i*nOut : (i+1)*nOut]
+				for j, wj := range row {
+					y[j] += wj
+				}
+			}
+			if mods != nil {
+				// Sparse corrections for stuck and always-on synapses.
+				for id, stuck := range mods.StuckWeight {
+					if id.Boundary != k-1 {
+						continue
+					}
+					if pre[id.Pre] {
+						y[id.Post] += stuck - w[id.Pre*nOut+id.Post]
+					}
+				}
+				for id := range mods.AlwaysOnSynapse {
+					if id.Boundary != k-1 {
+						continue
+					}
+					// The synapse transmits a spike every timestep: when the
+					// presynaptic neuron is silent the weight still arrives.
+					if !pre[id.Pre] {
+						y[id.Post] += w[id.Pre*nOut+id.Post]
+					}
+				}
+			}
+
+			mp := s.mp[k]
+			out := s.spikes[k]
+			for j := 0; j < nOut; j++ {
+				mp[j] = leak*mp[j] + y[j]
+				th := theta
+				if mods != nil && len(mods.ThresholdOverride) > 0 {
+					if o, ok := mods.ThresholdOverride[NeuronID{Layer: k, Index: j}]; ok {
+						th = o
+					}
+				}
+				fired := mp[j] > th
+				if mods != nil && mods.ForceSpike[NeuronID{Layer: k, Index: j}] {
+					fired = true
+				}
+				out[j] = fired
+				if fired {
+					if subtract {
+						mp[j] -= th
+					} else {
+						mp[j] = 0
+					}
+				}
+			}
+			if wantTrace {
+				copy(trace.Y[k][t*nOut:(t+1)*nOut], y)
+				for j, sp := range out {
+					if sp {
+						trace.X[k][j] |= 1 << uint(t)
+					}
+				}
+			}
+		}
+
+		for j, sp := range s.spikes[L-1] {
+			if sp {
+				counts[j]++
+			}
+		}
+	}
+
+	return Result{SpikeCounts: counts}, trace
+}

@@ -1,0 +1,234 @@
+// Package stats provides the small statistical toolbox the test-generation
+// flow depends on: a deterministic pseudo-random source, Gaussian sampling,
+// the error function and its inverse, summary statistics, and the ν
+// ("nu") margin calculation from Section 4.1 of the paper.
+//
+// Everything here is hand-rolled on purpose: the reproduction is stdlib-only
+// and must be bit-for-bit deterministic across runs, so we fix the RNG
+// algorithm (SplitMix64) instead of relying on math/rand internals that may
+// change between Go releases.
+package stats
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo-random number generator based on
+// SplitMix64. It is tiny, fast, passes BigCrush, and — unlike math/rand —
+// its output sequence is fixed by this package forever, which keeps every
+// experiment in the repository reproducible bit-for-bit.
+type RNG struct {
+	state uint64
+	// cached second Box-Muller variate
+	hasGauss bool
+	gauss    float64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the same
+// seed produce identical sequences.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn argument must be positive")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using the
+// Marsaglia polar variant of the Box-Muller transform (no trigonometry in
+// the hot path). Variates are produced in pairs; the second is cached.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		mag := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * mag
+		r.hasGauss = true
+		return u * mag
+	}
+}
+
+// Fork derives an independent generator from the current one. Used to give
+// each simulated chip instance its own stream without correlations.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xA5A5A5A55A5A5A5A)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for slices with fewer than two elements.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma^2). For sigma == 0 it
+// returns the degenerate step function.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma == 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// ConfidenceC converts a two-sided confidence level (e.g. 0.997) into the
+// corresponding number of standard deviations c such that
+// P(|X| < c·sigma) = level. The paper uses c = 3 for 99.7 %.
+func ConfidenceC(level float64) float64 {
+	if level <= 0 {
+		return 0
+	}
+	if level >= 1 {
+		return math.Inf(1)
+	}
+	// Solve erf(c/sqrt2) = level for c with bisection; erf is monotone.
+	lo, hi := 0.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if math.Erf(mid/math.Sqrt2) < level {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Nu computes ν from Eq. 4 of the paper: the maximum number of simultaneously
+// stimulated neurons in a layer such that the accumulated weight error keeps
+// every neuron's output unchanged with confidence determined by c.
+//
+//	c·sqrt(ν)·σ < ωmax/2   ⇒   ν < (ωmax / (2·c·σ))²
+//
+// Nu returns the largest integer strictly satisfying the inequality. For
+// σ == 0 (no variation) it returns MaxNu, a sentinel meaning "unbounded".
+func Nu(omegaMax, sigma, c float64) int {
+	if sigma <= 0 || c <= 0 {
+		return MaxNu
+	}
+	bound := omegaMax / (2 * c * sigma)
+	v := bound * bound
+	n := int(math.Ceil(v)) - 1 // largest integer strictly below v
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxNu {
+		return MaxNu
+	}
+	return n
+}
+
+// MaxNu is the sentinel returned by Nu when variation is zero: effectively
+// "no limit on simultaneously stimulated neurons".
+const MaxNu = int(1) << 40
+
+// Binomial returns P(X = k) for X ~ Bin(n, p), computed in log space for
+// numerical stability. Used by the baseline repetition analysis.
+func Binomial(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation. xs must be sorted ascending; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return xs[n-1]
+	}
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}

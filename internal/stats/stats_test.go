@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(2)
+	seen := make(map[int]int)
+	for i := 0; i < 6000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(6) value %d drawn %d/6000 times", v, c)
+		}
+	}
+	assertPanics(t, "Intn(0)", func() { r.Intn(0) })
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(4)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestNormFloat64Tails(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.NormFloat64()) > 2 {
+			beyond2++
+		}
+	}
+	frac := float64(beyond2) / n
+	// P(|Z|>2) ≈ 4.55 %
+	if frac < 0.035 || frac > 0.057 {
+		t.Errorf("P(|Z|>2) = %g, want ≈ 0.0455", frac)
+	}
+}
+
+func TestFork(t *testing.T) {
+	r := NewRNG(6)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Errorf("forked streams coincide")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Errorf("StdDev single != 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); math.Abs(got-0.975) > 0.001 {
+		t.Errorf("CDF(1.96) = %g", got)
+	}
+	if NormalCDF(-1, 0, 0) != 0 || NormalCDF(1, 0, 0) != 1 {
+		t.Errorf("degenerate CDF wrong")
+	}
+}
+
+func TestConfidenceC(t *testing.T) {
+	// The paper's example: c = 3 for 99.7 %.
+	if got := ConfidenceC(0.997); math.Abs(got-2.968) > 0.01 {
+		t.Errorf("ConfidenceC(0.997) = %g, want ≈ 2.97", got)
+	}
+	if got := ConfidenceC(0.95); math.Abs(got-1.96) > 0.01 {
+		t.Errorf("ConfidenceC(0.95) = %g, want ≈ 1.96", got)
+	}
+	if ConfidenceC(0) != 0 {
+		t.Errorf("ConfidenceC(0) != 0")
+	}
+	if !math.IsInf(ConfidenceC(1), 1) {
+		t.Errorf("ConfidenceC(1) not +Inf")
+	}
+}
+
+func TestNu(t *testing.T) {
+	// Eq. 4: ν < (ωmax/(2cσ))². ωmax=10, c=3, σ=0.05 → bound = 1111.1 → 1111.
+	if got := Nu(10, 0.05, 3); got != 1111 {
+		t.Errorf("Nu = %d, want 1111", got)
+	}
+	// σ=0 → unbounded sentinel.
+	if got := Nu(10, 0, 3); got != MaxNu {
+		t.Errorf("Nu(σ=0) = %d, want MaxNu", got)
+	}
+	// Huge σ → 0 (no safe stimulation count).
+	if got := Nu(10, 100, 3); got != 0 {
+		t.Errorf("Nu(huge σ) = %d, want 0", got)
+	}
+	// Exact boundary: bound² integer → strict inequality excludes it.
+	// ωmax=12, c=3, σ=1 → (12/6)² = 4 → ν = 3.
+	if got := Nu(12, 1, 3); got != 3 {
+		t.Errorf("Nu strictness: %d, want 3", got)
+	}
+}
+
+func TestNuMonotoneQuick(t *testing.T) {
+	// Property: ν is non-increasing in σ and non-decreasing in ωmax.
+	f := func(s1, s2 uint8) bool {
+		sig1 := 0.01 + float64(s1%100)/100
+		sig2 := sig1 + 0.01 + float64(s2%100)/100
+		return Nu(10, sig1, 3) >= Nu(10, sig2, 3) &&
+			Nu(20, sig1, 3) >= Nu(10, sig1, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	if got := Binomial(4, 2, 0.5); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("Binomial(4,2,0.5) = %g", got)
+	}
+	if Binomial(4, 5, 0.5) != 0 || Binomial(4, -1, 0.5) != 0 {
+		t.Errorf("out-of-range k not zero")
+	}
+	if Binomial(3, 0, 0) != 1 || Binomial(3, 3, 1) != 1 {
+		t.Errorf("degenerate p wrong")
+	}
+	sum := 0.0
+	for k := 0; k <= 10; k++ {
+		sum += Binomial(10, k, 0.3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %g", sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Errorf("empty quantile != 0")
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,301 @@
+// Package tester models the automatic test equipment (ATE) side of the
+// flow: given a test set it derives golden responses from the nominal
+// design, applies the tests to chips under test (simulated good or faulty
+// dies, with or without weight variation), and computes the three quality
+// metrics of the paper's evaluation — fault coverage, test escape and
+// overkill (Sections 5.2, 5.3).
+package tester
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/faultsim"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+	"neurotest/internal/variation"
+)
+
+// ATE holds a test program with precomputed golden responses.
+//
+// Golden responses are simulated from the design *as programmed*: the same
+// configuration transform (typically quantization) that the chip's weight
+// memory applies is applied before deriving the expected outputs, exactly
+// like a production flow that goldens against the post-quantization model.
+type ATE struct {
+	ts        *pattern.TestSet
+	transform faultsim.ConfigTransform
+	nets      []*snn.Network // transformed configuration per config index
+	golden    []snn.Result   // per item
+	// tolerance is the pass band on each output spike count (see
+	// WithTolerance). 0 means exact comparison.
+	tolerance int
+}
+
+// WithTolerance sets the per-output spike-count pass band and returns the
+// ATE. A chip passes an item when every output count is within ±n of the
+// golden count.
+//
+// The deterministic method uses n = 0 — its configurations engineer exact
+// outputs. Statistical baselines decide pass/fail from firing-rate
+// estimates whose resolution is bounded by their repetition budget, so
+// their production testers accept counts within the estimation resolution;
+// n = 1 models that band.
+func (a *ATE) WithTolerance(n int) *ATE {
+	if n < 0 {
+		panic("tester: negative tolerance")
+	}
+	a.tolerance = n
+	return a
+}
+
+// matches reports whether got passes against want under the ATE's
+// tolerance.
+func (a *ATE) matches(got, want snn.Result) bool {
+	if a.tolerance == 0 {
+		return got.Equal(want)
+	}
+	if len(got.SpikeCounts) != len(want.SpikeCounts) {
+		return false
+	}
+	for i := range got.SpikeCounts {
+		d := got.SpikeCounts[i] - want.SpikeCounts[i]
+		if d < -a.tolerance || d > a.tolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// New builds an ATE for ts. transform may be nil (ideal weights). Golden
+// responses and chips-under-test share the transform, the flow of a shop
+// that goldens against the post-quantization model.
+func New(ts *pattern.TestSet, transform faultsim.ConfigTransform) *ATE {
+	return NewSplit(ts, transform, transform)
+}
+
+// NewSplit builds an ATE whose golden responses come from goldenTransform'd
+// configurations while chips under test are programmed through
+// chipTransform. Production flows that golden against the *ideal* model but
+// ship quantized silicon use NewSplit(ts, nil, quantize): any behavioural
+// gap the quantizer opens then shows up as overkill, which is exactly the
+// effect the paper's "overkill with quantization" rows measure.
+func NewSplit(ts *pattern.TestSet, goldenTransform, chipTransform faultsim.ConfigTransform) *ATE {
+	a := &ATE{ts: ts, transform: chipTransform}
+	a.nets = make([]*snn.Network, len(ts.Configs))
+	golden := make([]*snn.Network, len(ts.Configs))
+	for i, cfg := range ts.Configs {
+		a.nets[i] = cfg
+		golden[i] = cfg
+		if chipTransform != nil {
+			a.nets[i] = chipTransform(cfg)
+		}
+		if goldenTransform != nil {
+			golden[i] = goldenTransform(cfg)
+		}
+	}
+	sims := make([]*snn.Simulator, len(golden))
+	for i, n := range golden {
+		sims[i] = snn.NewSimulator(n)
+	}
+	for _, it := range ts.Items {
+		res := sims[it.ConfigIndex].Run(it.Pattern, it.Timesteps, it.Mode(), nil)
+		a.golden = append(a.golden, res)
+	}
+	return a
+}
+
+// TestSet returns the underlying test program.
+func (a *ATE) TestSet() *pattern.TestSet { return a.ts }
+
+// Golden returns the expected output of item i.
+func (a *ATE) Golden(i int) snn.Result { return a.golden[i] }
+
+// Verdict is the outcome of testing one chip.
+type Verdict struct {
+	// Passed is true when every item matched its golden response.
+	Passed bool
+	// FailedItem is the index of the first mismatching item, or -1.
+	FailedItem int
+	// ItemsRun counts the items applied before the verdict.
+	ItemsRun int
+}
+
+// RunChip applies the full test program to one chip under test.
+//
+// mods injects the die's physical defect (nil for a defect-free die). vary
+// models the chip's weight variation: the die's per-synapse deviation tensor
+// is sampled once (each memristive device carries a fixed programming
+// offset) and shifts every configuration programmed into it — the paper's
+// "modify each weight of the CUT by adding a random variable" (Section 5.3).
+// rng drives that sampling and must be non-nil when vary is non-zero.
+//
+// Testing stops at the first failing item (production ATE behaviour).
+func (a *ATE) RunChip(mods *snn.Modifiers, vary variation.Model, rng *stats.RNG) Verdict {
+	if !vary.Zero() && rng == nil {
+		panic("tester: variation requires an RNG")
+	}
+	errs := vary.SampleError(a.ts.Arch, rng)
+	v := Verdict{Passed: true, FailedItem: -1}
+	// Items are applied in order; a configuration is (re)programmed when
+	// first encountered, then reused for consecutive items sharing it.
+	currentCfg := -1
+	var sim *snn.Simulator
+	for i, it := range a.ts.Items {
+		if it.ConfigIndex != currentCfg {
+			net := errs.ApplyTo(a.nets[it.ConfigIndex])
+			sim = snn.NewSimulator(net)
+			currentCfg = it.ConfigIndex
+		}
+		res := sim.Run(it.Pattern, it.Timesteps, it.Mode(), mods)
+		v.ItemsRun++
+		if !a.matches(res, a.golden[i]) {
+			v.Passed = false
+			v.FailedItem = i
+			return v
+		}
+	}
+	return v
+}
+
+// CoverageResult summarises a fault-coverage campaign.
+type CoverageResult struct {
+	Total      int
+	Detected   int
+	Undetected []fault.Fault
+}
+
+// Coverage returns the fault coverage percentage.
+func (c CoverageResult) Coverage() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// String renders like the paper's tables, e.g. "100.00%".
+func (c CoverageResult) String() string {
+	return fmt.Sprintf("%.2f%% (%d/%d)", c.Coverage(), c.Detected, c.Total)
+}
+
+// MeasureCoverage runs exhaustive (incremental) fault simulation of the test
+// program over faults and reports coverage. Variation plays no role here —
+// coverage is a property of the deterministic design, per Tables 5/6.
+func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) CoverageResult {
+	eng := faultsim.New(a.ts, values, a.transform)
+	res := CoverageResult{Total: len(faults)}
+	for _, f := range faults {
+		if eng.Detects(f) {
+			res.Detected++
+		} else {
+			res.Undetected = append(res.Undetected, f)
+		}
+	}
+	return res
+}
+
+// MeasureOverkill simulates nChips good chips under weight variation and
+// returns the percentage that fail the test program (the paper uses 300
+// chips). seed fixes the population; chips are simulated in parallel with
+// order-independent per-chip seeds, so results are reproducible regardless
+// of scheduling.
+func (a *ATE) MeasureOverkill(nChips int, vary variation.Model, seed uint64) float64 {
+	if nChips <= 0 {
+		return 0
+	}
+	failed := a.countChips(nChips, func(i int, rng *stats.RNG) bool {
+		return !a.RunChip(nil, vary, rng).Passed
+	}, seed)
+	return 100 * float64(failed) / float64(nChips)
+}
+
+// MeasureEscape simulates one faulty chip per fault in faults, each with its
+// own variation sample, and returns the percentage that pass the test
+// program (test escape). values parameterizes the injected faults; seed
+// fixes the population.
+func (a *ATE) MeasureEscape(faults []fault.Fault, values fault.Values, vary variation.Model, seed uint64) float64 {
+	if len(faults) == 0 {
+		return 0
+	}
+	escaped := a.countChips(len(faults), func(i int, rng *stats.RNG) bool {
+		return a.RunChip(faults[i].Modifiers(values), vary, rng).Passed
+	}, seed)
+	return 100 * float64(escaped) / float64(len(faults))
+}
+
+// countChips evaluates pred for n independent chips in parallel and returns
+// how many satisfied it. Chip i always receives the same derived seed.
+func (a *ATE) countChips(n int, pred func(i int, rng *stats.RNG) bool, seed uint64) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				// SplitMix-style decorrelation of per-chip seeds.
+				chipSeed := (seed + 0x9E3779B97F4A7C15*uint64(i+1)) ^ 0xD1B54A32D192ED03
+				if pred(i, stats.NewRNG(chipSeed)) {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// SampleFaults returns a deterministic stratified sample of up to max faults
+// drawn from the universe of each listed kind, proportionally to universe
+// sizes (at least one per non-empty kind). With max <= 0 or max >= total it
+// returns the full concatenated universes.
+func SampleFaults(arch snn.Arch, kinds []fault.Kind, max int, seed uint64) []fault.Fault {
+	total := 0
+	for _, k := range kinds {
+		total += fault.UniverseSize(arch, k)
+	}
+	var out []fault.Fault
+	if max <= 0 || max >= total {
+		for _, k := range kinds {
+			out = append(out, fault.Universe(arch, k)...)
+		}
+		return out
+	}
+	rng := stats.NewRNG(seed)
+	for _, k := range kinds {
+		u := fault.Universe(arch, k)
+		want := max * len(u) / total
+		if want < 1 {
+			want = 1
+		}
+		if want >= len(u) {
+			out = append(out, u...)
+			continue
+		}
+		perm := rng.Perm(len(u))
+		for _, idx := range perm[:want] {
+			out = append(out, u[idx])
+		}
+	}
+	return out
+}

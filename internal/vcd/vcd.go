@@ -1,0 +1,144 @@
+// Package vcd exports simulation traces as Value Change Dump files (IEEE
+// 1364 §18), the interchange format every waveform viewer reads. A dumped
+// trace shows each neuron's spike output as a 1-bit signal and, optionally,
+// its weighted input charge as a real-valued signal — the neuromorphic
+// analogue of probing a DUT with a logic analyser, and a convenient way to
+// eyeball why a test item activates or propagates a fault.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"neurotest/internal/snn"
+)
+
+// Options controls what gets dumped.
+type Options struct {
+	// Module is the top-level scope name (default "snn").
+	Module string
+	// DumpCharge also emits each neuron's weighted input sum y as a real
+	// signal (layers >= 1 only).
+	DumpCharge bool
+	// TimescaleNS is the nanoseconds per timestep (default 1000 — one
+	// microsecond per SNN timestep).
+	TimescaleNS int
+}
+
+// Write dumps a recorded trace as VCD. The trace must come from
+// Simulator.RunTrace on a network of the given architecture.
+func Write(w io.Writer, arch snn.Arch, trace *snn.Trace, opt Options) error {
+	if err := arch.Validate(); err != nil {
+		return err
+	}
+	if trace == nil || trace.Timesteps <= 0 {
+		return fmt.Errorf("vcd: empty trace")
+	}
+	if len(trace.X) != arch.Layers() {
+		return fmt.Errorf("vcd: trace has %d layers, architecture %d", len(trace.X), arch.Layers())
+	}
+	if opt.Module == "" {
+		opt.Module = "snn"
+	}
+	if opt.TimescaleNS <= 0 {
+		opt.TimescaleNS = 1000
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date reproduction of DAC'24 neuromorphic test generation $end\n")
+	fmt.Fprintf(bw, "$version neurotest vcd writer $end\n")
+	fmt.Fprintf(bw, "$timescale %d ns $end\n", opt.TimescaleNS)
+	fmt.Fprintf(bw, "$scope module %s $end\n", opt.Module)
+
+	// Identifier allocation: VCD id chars are printable ASCII 33..126.
+	next := 0
+	newID := func() string {
+		id := ""
+		n := next
+		next++
+		for {
+			id = string(rune(33+n%94)) + id
+			n = n / 94
+			if n == 0 {
+				break
+			}
+			n--
+		}
+		return id
+	}
+
+	spikeIDs := make([][]string, arch.Layers())
+	chargeIDs := make([][]string, arch.Layers())
+	for k := 0; k < arch.Layers(); k++ {
+		fmt.Fprintf(bw, " $scope module layer%d $end\n", k+1)
+		spikeIDs[k] = make([]string, arch[k])
+		for i := 0; i < arch[k]; i++ {
+			id := newID()
+			spikeIDs[k][i] = id
+			fmt.Fprintf(bw, "  $var wire 1 %s spike_%d $end\n", id, i+1)
+		}
+		if opt.DumpCharge && k > 0 {
+			chargeIDs[k] = make([]string, arch[k])
+			for i := 0; i < arch[k]; i++ {
+				id := newID()
+				chargeIDs[k][i] = id
+				fmt.Fprintf(bw, "  $var real 64 %s charge_%d $end\n", id, i+1)
+			}
+		}
+		fmt.Fprintf(bw, " $upscope $end\n")
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values.
+	fmt.Fprintf(bw, "$dumpvars\n")
+	for k := range spikeIDs {
+		for _, id := range spikeIDs[k] {
+			fmt.Fprintf(bw, "0%s\n", id)
+		}
+		for _, id := range chargeIDs[k] {
+			fmt.Fprintf(bw, "r0 %s\n", id)
+		}
+	}
+	fmt.Fprintf(bw, "$end\n")
+
+	// Value changes. Spikes are one-timestep pulses: raise at the step's
+	// start, lower at its midpoint, so viewers show discrete events.
+	half := opt.TimescaleNS / 2
+	if half == 0 {
+		half = 1
+	}
+	prevCharge := make([][]float64, arch.Layers())
+	for k := range prevCharge {
+		prevCharge[k] = make([]float64, arch[k])
+	}
+	for t := 0; t < trace.Timesteps; t++ {
+		stamp := t * opt.TimescaleNS
+		fmt.Fprintf(bw, "#%d\n", stamp)
+		var lower []string
+		for k := 0; k < arch.Layers(); k++ {
+			for i := 0; i < arch[k]; i++ {
+				sp := trace.X[k][i]&(1<<uint(t)) != 0
+				if sp {
+					fmt.Fprintf(bw, "1%s\n", spikeIDs[k][i])
+					lower = append(lower, spikeIDs[k][i])
+				}
+				if opt.DumpCharge && k > 0 {
+					y := trace.Y[k][t*arch[k]+i]
+					if y != prevCharge[k][i] {
+						fmt.Fprintf(bw, "r%g %s\n", y, chargeIDs[k][i])
+						prevCharge[k][i] = y
+					}
+				}
+			}
+		}
+		if len(lower) > 0 {
+			fmt.Fprintf(bw, "#%d\n", stamp+half)
+			for _, id := range lower {
+				fmt.Fprintf(bw, "0%s\n", id)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "#%d\n", trace.Timesteps*opt.TimescaleNS)
+	return bw.Flush()
+}

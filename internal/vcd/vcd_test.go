@@ -1,0 +1,125 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"neurotest/internal/snn"
+)
+
+func traceOf(t *testing.T) (snn.Arch, *snn.Trace) {
+	t.Helper()
+	arch := snn.Arch{2, 2, 1}
+	net := snn.New(arch, snn.DefaultParams())
+	net.SetEntry(0, 0, 0, 1)
+	net.SetEntry(1, 0, 0, 1)
+	sim := snn.NewSimulator(net)
+	_, trace := sim.RunTrace(snn.Pattern{true, false}, 3, snn.ApplyOnce, nil)
+	return arch, trace
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	arch, trace := traceOf(t)
+	var sb strings.Builder
+	if err := Write(&sb, arch, trace, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1000 ns $end",
+		"$scope module snn $end",
+		"$scope module layer1 $end",
+		"$scope module layer3 $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0",
+		"#3000", // final timestamp: 3 steps x 1000ns
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// 5 spike vars for 2+2+1 neurons.
+	if got := strings.Count(out, "$var wire 1 "); got != 5 {
+		t.Errorf("spike vars = %d, want 5", got)
+	}
+	// No charge vars without DumpCharge.
+	if strings.Contains(out, "$var real") {
+		t.Errorf("unexpected charge vars")
+	}
+}
+
+func TestWriteSpikesPulse(t *testing.T) {
+	arch, trace := traceOf(t)
+	var sb strings.Builder
+	if err := Write(&sb, arch, trace, Options{TimescaleNS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The driven input and both downstream neurons spike at t=0: three
+	// rising edges after #0 and matching falls at the half-step #5.
+	idx0 := strings.Index(out, "#0\n")
+	idx5 := strings.Index(out, "#5\n")
+	if idx0 < 0 || idx5 < 0 || idx5 < idx0 {
+		t.Fatalf("pulse timestamps missing:\n%s", out)
+	}
+	rises := strings.Count(out[idx0:idx5], "\n1")
+	if rises != 3 {
+		t.Errorf("rising edges = %d, want 3", rises)
+	}
+}
+
+func TestWriteWithCharge(t *testing.T) {
+	arch, trace := traceOf(t)
+	var sb strings.Builder
+	if err := Write(&sb, arch, trace, Options{DumpCharge: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Charge vars only for non-input layers: 2+1 = 3 reals.
+	if got := strings.Count(out, "$var real 64 "); got != 3 {
+		t.Errorf("charge vars = %d, want 3", got)
+	}
+	if !strings.Contains(out, "r1 ") {
+		t.Errorf("expected charge value r1 for the driven neuron")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	arch, trace := traceOf(t)
+	if err := Write(&strings.Builder{}, snn.Arch{1}, trace, Options{}); err == nil {
+		t.Errorf("bad arch accepted")
+	}
+	if err := Write(&strings.Builder{}, arch, nil, Options{}); err == nil {
+		t.Errorf("nil trace accepted")
+	}
+	if err := Write(&strings.Builder{}, snn.Arch{2, 2}, trace, Options{}); err == nil {
+		t.Errorf("layer mismatch accepted")
+	}
+}
+
+func TestIdentifierAllocationUnique(t *testing.T) {
+	// Force > 94 identifiers to exercise multi-character IDs.
+	arch := snn.Arch{60, 50}
+	net := snn.New(arch, snn.DefaultParams())
+	sim := snn.NewSimulator(net)
+	_, trace := sim.RunTrace(snn.NewPattern(60), 2, snn.ApplyOnce, nil)
+	var sb strings.Builder
+	if err := Write(&sb, arch, trace, Options{DumpCharge: true}); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 5 && fields[0] == "$var" {
+			id := fields[3]
+			if ids[id] {
+				t.Fatalf("duplicate identifier %q", id)
+			}
+			ids[id] = true
+		}
+	}
+	if len(ids) != 60+50+50 {
+		t.Errorf("allocated %d ids, want 160", len(ids))
+	}
+}
