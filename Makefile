@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the tier-1 gate: everything CI runs, runnable locally.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The session layer and the reliability models are the concurrency-heavy
+# packages; run them under the race detector explicitly.
+race:
+	$(GO) test -race ./internal/tester/... ./internal/unreliable/...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -163,8 +163,14 @@ func BenchmarkFigure4_Overkill(b *testing.B) {
 func BenchmarkAblationQuantGranularity(b *testing.B) {
 	m := neurotest.NewModel(128, 64, 24, 8)
 	suite := mustSuite(b, m, neurotest.NoVariation())
-	perChannel := neurotest.NewQuantScheme(4, neurotest.PerChannel)
-	perBoundary := neurotest.NewQuantScheme(4, neurotest.PerBoundary)
+	perChannel, err := neurotest.NewQuantScheme(4, neurotest.PerChannel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perBoundary, err := neurotest.NewQuantScheme(4, neurotest.PerBoundary)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

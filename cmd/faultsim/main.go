@@ -87,7 +87,10 @@ func run(in string, jsonIn bool, archFlag, kindFlag string, bits int, listUndete
 
 	var transform faultsim.ConfigTransform
 	if bits > 0 {
-		s := quant.NewScheme(bits, quant.PerChannel)
+		s, err := quant.NewScheme(bits, quant.PerChannel)
+		if err != nil {
+			return fmt.Errorf("bad -bits: %w", err)
+		}
 		transform = func(n *snn.Network) *snn.Network {
 			c, _ := s.QuantizedClone(n)
 			return c

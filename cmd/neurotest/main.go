@@ -9,6 +9,8 @@
 //	neurotest info     -i tests.bin [-json-in]
 //	neurotest coverage -arch 576-256-32-10 [-kind SWF] [-bits 8]
 //	                   [-variation-aware]
+//	neurotest flaky    -arch 64-32-16-10 [-probs 1.0,0.5] [-budgets 0,3]
+//	                   [-jitter 0.02] [-drop 0.01] [-vote=false]
 //
 // Examples:
 //
@@ -29,6 +31,7 @@ import (
 
 	"neurotest"
 	"neurotest/internal/diagnose"
+	"neurotest/internal/experiments"
 	"neurotest/internal/fault"
 	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
@@ -56,6 +59,8 @@ func main() {
 		err = cmdMargins(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "flaky":
+		err = cmdFlaky(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,6 +84,7 @@ subcommands:
   diagnose   build a fault dictionary and diagnose an injected defect
   margins    analyse variation tolerance of a generated test program
   trace      dump a test item's simulation as a VCD waveform
+  flaky      sweep intermittent-fault and retest-budget test sessions
 
 run "neurotest <subcommand> -h" for flags`)
 }
@@ -221,6 +227,9 @@ func cmdCoverage(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *bits < 0 {
+		return fmt.Errorf("-bits must be >= 0 (got %d)", *bits)
+	}
 	var scheme *neurotest.QuantScheme
 	if *bits > 0 {
 		var g quant.Granularity
@@ -232,9 +241,12 @@ func cmdCoverage(args []string) error {
 		case "channel":
 			g = quant.PerChannel
 		default:
-			return fmt.Errorf("unknown granularity %q", *gran)
+			return fmt.Errorf("unknown granularity %q (want network, boundary or channel)", *gran)
 		}
-		s := neurotest.NewQuantScheme(*bits, g)
+		s, err := neurotest.NewQuantScheme(*bits, g)
+		if err != nil {
+			return fmt.Errorf("bad -bits: %w", err)
+		}
 		scheme = &s
 	}
 
@@ -373,13 +385,19 @@ func cmdMargins(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *confidence <= 0 {
+		return fmt.Errorf("-confidence must be positive (got %g)", *confidence)
+	}
 	m := neurotest.NewModel(arch...)
 	g, err := m.Generator(regimeOf(*varAware))
 	if err != nil {
 		return err
 	}
 	_, merged := g.GenerateAll()
-	rep := margin.Analyze(merged, *confidence, *worst)
+	rep, err := margin.Analyze(merged, *confidence, *worst)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("program: %d items on %v (%s)\n", merged.NumPatterns(), arch, map[bool]string{true: "variation-aware", false: "no-variation"}[*varAware])
 	fmt.Printf("analytic tolerance: σ ≤ %.4f (= %.1f%% of θ) at %.1fσ confidence\n",
 		rep.SigmaTolerance, 100*rep.SigmaTolerance/m.Params.Theta, rep.Confidence)
@@ -387,6 +405,98 @@ func cmdMargins(args []string) error {
 	for _, nm := range rep.Worst {
 		fmt.Printf("  %v  [%s]\n", nm, merged.Items[nm.Item].Label)
 	}
+	return nil
+}
+
+// parseFloatList parses a comma-separated list of floats for -probs.
+func parseFloatList(s, name string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %s", p, name)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of ints for -budgets.
+func parseIntList(s, name string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %s", p, name)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdFlaky(args []string) error {
+	fs := flag.NewFlagSet("flaky", flag.ExitOnError)
+	archFlag := fs.String("arch", "64-32-16-10", "layer widths, dash separated")
+	nFaults := fs.Int("faults", 200, "faulty-chip population per sweep point (0 = exhaustive universe)")
+	nChips := fs.Int("chips", 200, "good-chip population per sweep point")
+	probs := fs.String("probs", "", "comma-separated fault activation probabilities (default 1.0..0.1)")
+	budgets := fs.String("budgets", "", "comma-separated per-chip retest budgets (default 0,1,3,5)")
+	jitter := fs.Float64("jitter", 0, "per-output spike-count jitter probability")
+	jitterMag := fs.Int("jitter-mag", 1, "maximum jitter magnitude (spikes)")
+	drop := fs.Float64("drop", 0, "probability a readout is dropped entirely")
+	vote := fs.Bool("vote", true, "best-2-of-3 voting on disputed items (false: one retest decides)")
+	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
+	verbose := fs.Bool("v", false, "print per-point progress to stderr")
+	fs.Parse(args)
+
+	// Validate everything up front so a bad combination dies with a usage
+	// message, not a library panic mid-sweep.
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	if *nFaults < 0 || *nChips < 1 {
+		return fmt.Errorf("-faults must be >= 0 and -chips >= 1 (got %d, %d)", *nFaults, *nChips)
+	}
+	if *jitter < 0 || *jitter > 1 || *drop < 0 || *drop >= 1 {
+		return fmt.Errorf("-jitter must be in [0,1] and -drop in [0,1) (got %g, %g)", *jitter, *drop)
+	}
+	if *jitterMag < 1 {
+		return fmt.Errorf("-jitter-mag must be >= 1 (got %d)", *jitterMag)
+	}
+	cfg := experiments.Config{Seed: *seed, GoodChips: *nChips, EscapeSample: *nFaults}
+	if *probs != "" {
+		if cfg.FlakyProbs, err = parseFloatList(*probs, "-probs"); err != nil {
+			return err
+		}
+		for _, p := range cfg.FlakyProbs {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("-probs values must be in [0,1] (got %g)", p)
+			}
+		}
+	}
+	if *budgets != "" {
+		if cfg.FlakyBudgets, err = parseIntList(*budgets, "-budgets"); err != nil {
+			return err
+		}
+		for _, b := range cfg.FlakyBudgets {
+			if b < 0 {
+				return fmt.Errorf("-budgets values must be >= 0 (got %d)", b)
+			}
+		}
+	}
+
+	runner := experiments.NewRunner(cfg)
+	if *verbose {
+		runner.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  .. %s\n", s) }
+	}
+	readout := neurotest.Readout{JitterP: *jitter, JitterMag: *jitterMag, DropP: *drop}
+	points := runner.FlakySweep(arch, readout, *vote)
+	policy := "vote best-2-of-3"
+	if !*vote {
+		policy = "single retest decides"
+	}
+	experiments.FlakyTable(arch, readout.String(), policy, points).Render(os.Stdout)
 	return nil
 }
 

@@ -103,3 +103,48 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("unknown subcommand accepted")
 	}
 }
+
+func TestCLIFlaky(t *testing.T) {
+	bin := buildCLI(t)
+	args := []string{"flaky", "-arch", "12-8-4", "-faults", "15", "-chips", "15",
+		"-probs", "1.0,0.5", "-budgets", "0,2", "-jitter", "0.05", "-drop", "0.02", "-seed", "7"}
+	out, err := run(t, bin, args...)
+	if err != nil {
+		t.Fatalf("flaky: %v\n%s", err, out)
+	}
+	for _, want := range []string{"p(active)", "amplification", "12-8-4 model", "vote best-2-of-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flaky output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 7 { // title + header + rule + 4 points
+		t.Errorf("flaky table has %d lines:\n%s", got, out)
+	}
+
+	// The sweep must be byte-identical across runs for the same seed.
+	again, err := run(t, bin, args...)
+	if err != nil {
+		t.Fatalf("flaky rerun: %v\n%s", err, again)
+	}
+	if out != again {
+		t.Errorf("flaky output not reproducible:\n--- first\n%s--- second\n%s", out, again)
+	}
+
+	// Invalid flag combinations die with a usage error, not a panic.
+	for _, bad := range [][]string{
+		{"flaky", "-arch", "12-8-4", "-probs", "1.5"},
+		{"flaky", "-arch", "12-8-4", "-budgets", "-1"},
+		{"flaky", "-arch", "12-8-4", "-drop", "1.0"},
+		{"flaky", "-arch", "12-8-4", "-jitter-mag", "0"},
+		{"flaky", "-arch", "12-8-4", "-chips", "0"},
+		{"flaky", "-arch", "12-8-4", "-probs", "0.5,x"},
+	} {
+		out, err := run(t, bin, bad...)
+		if err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+		if strings.Contains(out, "panic") {
+			t.Errorf("%v panicked:\n%s", bad, out)
+		}
+	}
+}

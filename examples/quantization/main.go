@@ -41,14 +41,14 @@ func main() {
 		{3, "channel"},
 	}
 	for _, c := range cases {
-		var scheme neurotest.QuantScheme
-		switch c.gran {
-		case "channel":
-			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerChannel)
-		case "boundary":
-			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerBoundary)
-		case "network":
-			scheme = neurotest.NewQuantScheme(c.bits, neurotest.PerNetwork)
+		gran := map[string]neurotest.Granularity{
+			"channel":  neurotest.PerChannel,
+			"boundary": neurotest.PerBoundary,
+			"network":  neurotest.PerNetwork,
+		}[c.gran]
+		scheme, err := neurotest.NewQuantScheme(c.bits, gran)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("%4d  %-12s", c.bits, c.gran)
 		for _, kind := range kinds {

@@ -112,6 +112,12 @@ func New(cfg Config, seed uint64) *Chip {
 // NumCores returns how many crossbar cores the chip instantiates.
 func (c *Chip) NumCores() int { return len(c.cores) }
 
+// Core returns the i-th crossbar core (0 <= i < NumCores).
+func (c *Chip) Core(i int) *Core { return c.cores[i] }
+
+// Cells returns how many weight cells the core holds.
+func (co *Core) Cells() int { return co.Axons * co.Neurons }
+
 // Cores returns the cores serving one boundary.
 func (c *Chip) Cores(boundary int) []*Core {
 	var out []*Core
@@ -200,6 +206,57 @@ func (c *Chip) Program(net *snn.Network) error {
 	}
 	c.programmed = true
 	return nil
+}
+
+// WeightCode returns the stored integer code of one cell of core i.
+func (c *Chip) WeightCode(core, axon, neuron int) (int32, error) {
+	co, err := c.cell(core, axon, neuron)
+	if err != nil {
+		return 0, err
+	}
+	return co.codes[axon*co.Neurons+neuron], nil
+}
+
+// FlipWeightBit flips bit `bit` of the stored weight code of cell
+// (axon, neuron) in core `core`, reinterpreting the code as a
+// WeightBits-wide two's-complement word — a single-event upset in the
+// configuration memory. The stored analog weight is rewritten from the new
+// code (the upset cell loses any write-noise offset it carried: the flip
+// re-latches the cell). Flipping the same bit twice restores the code.
+func (c *Chip) FlipWeightBit(core, axon, neuron, bit int) error {
+	co, err := c.cell(core, axon, neuron)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= c.cfg.WeightBits {
+		return fmt.Errorf("chip: bit %d outside %d-bit weight memory", bit, c.cfg.WeightBits)
+	}
+	idx := axon*co.Neurons + neuron
+	width := uint(c.cfg.WeightBits)
+	u := uint32(co.codes[idx]) & (1<<width - 1)
+	u ^= 1 << uint(bit)
+	code := int32(u)
+	if u&(1<<(width-1)) != 0 {
+		code = int32(u) - int32(1)<<width // sign-extend the flipped word
+	}
+	co.codes[idx] = code
+	co.analog[idx] = float64(code) * co.scales[neuron]
+	return nil
+}
+
+// cell validates a (core, axon, neuron) address on a programmed chip.
+func (c *Chip) cell(core, axon, neuron int) (*Core, error) {
+	if !c.programmed {
+		return nil, fmt.Errorf("chip: not programmed")
+	}
+	if core < 0 || core >= len(c.cores) {
+		return nil, fmt.Errorf("chip: core %d outside [0,%d)", core, len(c.cores))
+	}
+	co := c.cores[core]
+	if axon < 0 || axon >= co.Axons || neuron < 0 || neuron >= co.Neurons {
+		return nil, fmt.Errorf("chip: cell (%d,%d) outside %dx%d core", axon, neuron, co.Axons, co.Neurons)
+	}
+	return co, nil
 }
 
 // EffectiveNetwork reads back the weights the chip actually holds

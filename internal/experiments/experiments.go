@@ -104,6 +104,13 @@ type Config struct {
 	BaselineConfigs  int
 	BaselinePatterns int
 	BaselineGuide    int
+	// FlakyProbs are the intermittence activation probabilities the flaky
+	// experiment sweeps; 1.0 is the paper's permanently-active fault.
+	FlakyProbs []float64
+	// FlakyBudgets are the per-chip retest budgets the flaky experiment
+	// sweeps; nil selects the default {0, 1, 3, 5} (an explicit empty,
+	// non-nil slice is rejected by FlakySweep).
+	FlakyBudgets []int
 }
 
 // Normalize fills defaults for zero fields and returns the config.
@@ -134,6 +141,12 @@ func (c Config) Normalize() Config {
 	}
 	if c.BaselineGuide == 0 {
 		c.BaselineGuide = 1200
+	}
+	if len(c.FlakyProbs) == 0 {
+		c.FlakyProbs = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	}
+	if c.FlakyBudgets == nil {
+		c.FlakyBudgets = []int{0, 1, 3, 5}
 	}
 	return c
 }
@@ -298,8 +311,27 @@ func maxInt(a, b int) int {
 }
 
 // eightBit is the quantization scheme of the Tables 5/6 "with quantization"
-// rows: 8-bit per-channel, the Brevitas-style default.
-func eightBit() quant.Scheme { return quant.NewScheme(8, quant.PerChannel) }
+// rows: 8-bit per-channel, the Brevitas-style default. The parameters are
+// compile-time constants, so an error here is an internal invariant
+// violation.
+func eightBit() quant.Scheme {
+	s, err := quant.NewScheme(8, quant.PerChannel)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// withTolerance applies a compile-time-constant pass band; the tolerances
+// the runner uses (0 and 1) are always valid, so an error here is an
+// internal invariant violation.
+func withTolerance(a *tester.ATE, tol int) *tester.ATE {
+	a, err := a.WithTolerance(tol)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
 
 func transformOf(s quant.Scheme) func(*snn.Network) *snn.Network {
 	return func(n *snn.Network) *snn.Network {

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+	"neurotest/internal/unreliable"
+	"neurotest/internal/variation"
+)
+
+// FlakyPoint is one cell of the flaky-chip sweep: the binning statistics of
+// a faulty and a good chip population tested under one (activation
+// probability, retest budget) combination.
+type FlakyPoint struct {
+	// P is the intermittent fault's activation probability.
+	P float64
+	// Budget is the per-chip retest budget (RetestPolicy.MaxRetests).
+	Budget int
+	// Detection is the percentage of faulty chips binned Fail — the
+	// intermittent-fault analogue of the paper's fault coverage.
+	Detection float64
+	// Escape is the percentage of faulty chips binned Pass (test escape).
+	Escape float64
+	// FaultyQuarantine is the percentage of faulty chips quarantined.
+	FaultyQuarantine float64
+	// Overkill is the percentage of good chips binned Fail.
+	Overkill float64
+	// GoodQuarantine is the percentage of good chips quarantined.
+	GoodQuarantine float64
+	// Amplification is the retest amplification pooled over both
+	// populations: extra item applications ÷ baseline items.
+	Amplification float64
+}
+
+// FlakySweep measures the proposed test program on unreliable chips: for
+// every activation probability in cfg.FlakyProbs and retest budget in
+// cfg.FlakyBudgets it sessions a faulty-chip population (one intermittent
+// fault per chip, sampled from the full universe) and a good-chip
+// population through the given readout channel, and reports detection,
+// escape, overkill, quarantine and retest amplification.
+//
+// The suite is the paper's no-variation construction with exact comparison
+// (tolerance 0), so the P = 1, budget 0 point reproduces the deterministic
+// evaluation: 100 % detection, 0 % escape and overkill, amplification 0.
+// The whole sweep is a deterministic function of the config seed.
+func (r *Runner) FlakySweep(arch snn.Arch, readout unreliable.Readout, vote bool) []FlakyPoint {
+	merged := r.MergedSuite(arch, Proposed, false)
+	ate := tester.New(merged, nil)
+	faults := tester.SampleFaults(arch, fault.Kinds(), r.cfg.EscapeSample, r.cfg.Seed+41)
+	mods := func(i int) *snn.Modifiers { return faults[i].Modifiers(r.values) }
+
+	var out []FlakyPoint
+	for pi, p := range r.cfg.FlakyProbs {
+		for bi, budget := range r.cfg.FlakyBudgets {
+			prof := unreliable.Profile{
+				Intermittence: unreliable.Intermittence{P: p},
+				Readout:       readout,
+			}
+			policy := tester.RetestPolicy{MaxRetests: budget, Vote: vote}
+			base := r.cfg.Seed + uint64(pi)*1009 + uint64(bi)*9176
+			faulty := ate.MeasureSessions(len(faults), mods, prof, variation.None(), policy, base+1)
+			good := ate.MeasureSessions(r.cfg.GoodChips, nil, prof, variation.None(), policy, base+2)
+			if len(faulty.Errors) > 0 {
+				panic(fmt.Sprintf("experiments: flaky faulty campaign: %v", faulty.Errors[0]))
+			}
+			if len(good.Errors) > 0 {
+				panic(fmt.Sprintf("experiments: flaky good campaign: %v", good.Errors[0]))
+			}
+			pt := FlakyPoint{
+				P:                p,
+				Budget:           budget,
+				Detection:        faulty.FailRate(),
+				Escape:           faulty.PassRate(),
+				FaultyQuarantine: faulty.QuarantineRate(),
+				Overkill:         good.FailRate(),
+				GoodQuarantine:   good.QuarantineRate(),
+			}
+			if n := faulty.BaselineItems + good.BaselineItems; n > 0 {
+				pt.Amplification = float64(faulty.Retests+good.Retests) / float64(n)
+			}
+			r.progress("%v flaky p=%g budget=%d: detect %.2f%%, escape %.2f%%, overkill %.2f%%",
+				arch, p, budget, pt.Detection, pt.Escape, pt.Overkill)
+			out = append(out, pt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/unreliable"
+)
+
+func flakyRunner() *Runner {
+	return NewRunner(Config{
+		GoodChips:    25,
+		EscapeSample: 25,
+		FlakyProbs:   []float64{1.0, 0.4},
+		FlakyBudgets: []int{0, 3},
+	})
+}
+
+func TestFlakySweepReliablePointMatchesPaper(t *testing.T) {
+	arch := snn.Arch{10, 8, 6}
+	points := flakyRunner().FlakySweep(arch, unreliable.Readout{}, true)
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	// The p = 1, budget 0 corner is the paper's deterministic evaluation:
+	// the suite achieves 100 % coverage with zero escape and overkill, and
+	// no retests ever run.
+	p0 := points[0]
+	if p0.P != 1.0 || p0.Budget != 0 {
+		t.Fatalf("first point is %+v, want p=1 budget=0", p0)
+	}
+	if p0.Detection != 100 || p0.Escape != 0 || p0.FaultyQuarantine != 0 {
+		t.Errorf("reliable faulty population: %+v", p0)
+	}
+	if p0.Overkill != 0 || p0.GoodQuarantine != 0 || p0.Amplification != 0 {
+		t.Errorf("reliable good population: %+v", p0)
+	}
+	// Intermittent faults escape a single-pass program.
+	var p40 *FlakyPoint
+	for i := range points {
+		if points[i].P == 0.4 && points[i].Budget == 0 {
+			p40 = &points[i]
+		}
+	}
+	if p40 == nil || p40.Escape == 0 {
+		t.Errorf("p=0.4 budget=0 shows no escape: %+v", p40)
+	}
+}
+
+func TestFlakySweepDeterministicAndRendered(t *testing.T) {
+	arch := snn.Arch{10, 8, 6}
+	readout := unreliable.Readout{JitterP: 0.05, DropP: 0.02}
+	a := flakyRunner().FlakySweep(arch, readout, true)
+	b := flakyRunner().FlakySweep(arch, readout, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not reproducible at point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	tbl := FlakyTable(arch, readout.String(), "vote best-2-of-3", a)
+	s := tbl.String()
+	if !strings.Contains(s, "p(active)") || !strings.Contains(s, "amplification") {
+		t.Errorf("table header wrong:\n%s", s)
+	}
+	if len(tbl.Rows) != len(a) {
+		t.Errorf("table has %d rows, want %d", len(tbl.Rows), len(a))
+	}
+	if tbl.String() != FlakyTable(arch, readout.String(), "vote best-2-of-3", b).String() {
+		t.Errorf("rendered tables differ across identical runs")
+	}
+}
+
+func TestNormalizeFlakyDefaults(t *testing.T) {
+	c := Config{}.Normalize()
+	if len(c.FlakyProbs) != 10 || c.FlakyProbs[0] != 1.0 || c.FlakyProbs[9] != 0.1 {
+		t.Errorf("default probs = %v", c.FlakyProbs)
+	}
+	if len(c.FlakyBudgets) != 4 || c.FlakyBudgets[0] != 0 || c.FlakyBudgets[3] != 5 {
+		t.Errorf("default budgets = %v", c.FlakyBudgets)
+	}
+	// Explicit values survive normalization.
+	c = Config{FlakyProbs: []float64{0.5}, FlakyBudgets: []int{2}}.Normalize()
+	if len(c.FlakyProbs) != 1 || len(c.FlakyBudgets) != 1 {
+		t.Errorf("explicit flaky config overwritten: %v %v", c.FlakyProbs, c.FlakyBudgets)
+	}
+}

@@ -95,9 +95,9 @@ func (r *Runner) measureMethod(arch snn.Arch, m Method, kind fault.Kind) MethodC
 		tol = 0 // the deterministic method expects exact outputs
 	}
 	mfg := r.mfgVariation()
-	okIdeal := tester.NewSplit(capped, nil, nil).WithTolerance(tol)
+	okIdeal := withTolerance(tester.NewSplit(capped, nil, nil), tol)
 	cells.OverkillIdeal = okIdeal.MeasureOverkill(r.cfg.GoodChips, mfg, r.cfg.Seed+uint64(kind)+1)
-	okQuant := tester.NewSplit(capped, nil, transformOf(eightBit())).WithTolerance(tol)
+	okQuant := withTolerance(tester.NewSplit(capped, nil, transformOf(eightBit())), tol)
 	cells.OverkillQuant = okQuant.MeasureOverkill(r.cfg.GoodChips, mfg, r.cfg.Seed+uint64(kind)+2)
 	r.progress("%v %v %v overkill: %.2f%% / %.2f%%", arch, m, kind, cells.OverkillIdeal, cells.OverkillQuant)
 	return cells
@@ -170,6 +170,29 @@ func (r *Runner) RatioTable() *report.Table {
 	return t
 }
 
+// FlakyTable renders a FlakySweep result as the retest-policy table: one row
+// per (activation probability, retest budget) point.
+func FlakyTable(arch snn.Arch, readout, policy string, points []FlakyPoint) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Flaky-chip retest sweep — %s model (%s, %s)", arch, readout, policy),
+		"p(active)", "budget", "detect %", "escape %", "quar.faulty %",
+		"overkill %", "quar.good %", "amplification",
+	)
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%.2f", pt.P),
+			fmt.Sprintf("%d", pt.Budget),
+			fmt.Sprintf("%.2f", pt.Detection),
+			fmt.Sprintf("%.2f", pt.Escape),
+			fmt.Sprintf("%.2f", pt.FaultyQuarantine),
+			fmt.Sprintf("%.2f", pt.Overkill),
+			fmt.Sprintf("%.2f", pt.GoodQuarantine),
+			fmt.Sprintf("%.4f", pt.Amplification),
+		)
+	}
+	return t
+}
+
 // Figure4 reproduces the variation sweep for one architecture: test escape
 // and overkill of every method over the σ axis. It returns the two figures
 // (escape, overkill).
@@ -190,7 +213,7 @@ func (r *Runner) Figure4(arch snn.Arch) (*report.Figure, *report.Figure) {
 		} else {
 			ts = capItems(ts, r.cfg.BaselineItemCap)
 		}
-		ate := tester.NewSplit(ts, nil, nil).WithTolerance(tol)
+		ate := withTolerance(tester.NewSplit(ts, nil, nil), tol)
 		var esc, ok []float64
 		for i, frac := range r.cfg.SigmaFractions {
 			vary := variation.OfTheta(frac, r.params.Theta)

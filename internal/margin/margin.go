@@ -56,10 +56,12 @@ type Report struct {
 
 // Analyze evaluates the good-chip margins of every item of ts at
 // confidence c, reporting the k worst decisions. Configurations are used
-// as stored (quantize first if the deployment does).
-func Analyze(ts *pattern.TestSet, c float64, k int) Report {
+// as stored (quantize first if the deployment does). A non-positive
+// confidence is a configuration error (it reaches here straight from the
+// CLI's -confidence flag).
+func Analyze(ts *pattern.TestSet, c float64, k int) (Report, error) {
 	if c <= 0 {
-		panic("margin: confidence must be positive")
+		return Report{}, fmt.Errorf("margin: confidence must be positive, got %g", c)
 	}
 	if k < 1 {
 		k = 1
@@ -133,7 +135,7 @@ func Analyze(ts *pattern.TestSet, c float64, k int) Report {
 		rep.SigmaTolerance = math.Inf(1)
 		rep.Binding.SigmaTolerance = math.Inf(1)
 		rep.Binding.Margin = math.Inf(1)
-		return rep
+		return rep, nil
 	}
 	sort.Slice(all, func(i, j int) bool {
 		return all[i].SigmaTolerance < all[j].SigmaTolerance
@@ -144,7 +146,7 @@ func Analyze(ts *pattern.TestSet, c float64, k int) Report {
 	rep.Worst = all[:k]
 	rep.Binding = all[0]
 	rep.SigmaTolerance = all[0].SigmaTolerance
-	return rep
+	return rep, nil
 }
 
 // String renders one neuron margin for reports.

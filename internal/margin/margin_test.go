@@ -12,6 +12,15 @@ import (
 	"neurotest/internal/variation"
 )
 
+func mustAnalyze(t *testing.T, ts *pattern.TestSet, c float64, k int) Report {
+	t.Helper()
+	rep, err := Analyze(ts, c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func suite(t *testing.T, arch snn.Arch, regime core.Regime) *pattern.TestSet {
 	t.Helper()
 	params := snn.DefaultParams()
@@ -33,7 +42,7 @@ func TestBindingMarginIsActivationMargin(t *testing.T) {
 	// program is the ESF/HSF activation margin |θ−θ̂|/2 = 0.225 on a
 	// single spiking input: σ tolerance = 0.225/(3·√1) = 0.075 = 15 % θ.
 	ts := suite(t, snn.Arch{16, 12, 8}, core.NegligibleVariation())
-	rep := Analyze(ts, 3, 5)
+	rep := mustAnalyze(t, ts, 3, 5)
 	if math.Abs(rep.Binding.Margin-0.225) > 1e-9 {
 		t.Errorf("binding margin = %g, want 0.225", rep.Binding.Margin)
 	}
@@ -63,7 +72,7 @@ func TestBindingMarginIsActivationMargin(t *testing.T) {
 func TestMarginPredictsOverkillOnset(t *testing.T) {
 	arch := snn.Arch{64, 48, 16}
 	ts := suite(t, arch, core.NegligibleVariation())
-	rep := Analyze(ts, 3, 1)
+	rep := mustAnalyze(t, ts, 3, 1)
 	ate := tester.New(ts, nil)
 
 	// Well below the bound: zero overkill.
@@ -92,20 +101,19 @@ func TestZeroChargeProgramsAreInfinitelyTolerant(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := g.Generate(fault.NASF)
-	rep := Analyze(ts, 3, 3)
+	rep := mustAnalyze(t, ts, 3, 3)
 	if !math.IsInf(rep.SigmaTolerance, 1) {
 		t.Errorf("silent program tolerance = %g, want +Inf", rep.SigmaTolerance)
 	}
 }
 
-func TestAnalyzePanicsOnBadConfidence(t *testing.T) {
+func TestAnalyzeRejectsBadConfidence(t *testing.T) {
 	ts := suite(t, snn.Arch{6, 4}, core.NoVariation())
-	defer func() {
-		if recover() == nil {
-			t.Errorf("expected panic")
+	for _, c := range []float64{0, -1} {
+		if _, err := Analyze(ts, c, 1); err == nil {
+			t.Errorf("confidence %g accepted", c)
 		}
-	}()
-	Analyze(ts, 0, 1)
+	}
 }
 
 func TestNoVariationProgramHasThetaMargin(t *testing.T) {
@@ -114,7 +122,7 @@ func TestNoVariationProgramHasThetaMargin(t *testing.T) {
 	// the reason Tables 5/6 simulate good chips without variation.
 	arch := snn.Arch{64, 32, 8}
 	ts := suite(t, arch, core.NoVariation())
-	rep := Analyze(ts, 3, 1)
+	rep := mustAnalyze(t, ts, 3, 1)
 	wantTol := 0.5 / (3 * math.Sqrt(64))
 	if math.Abs(rep.SigmaTolerance-wantTol) > 1e-9 {
 		t.Errorf("no-variation tolerance = %g, want %g", rep.SigmaTolerance, wantTol)

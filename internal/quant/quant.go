@@ -25,17 +25,18 @@ type Quantizer struct {
 	Max  float64
 }
 
-// New returns a quantizer with the given bit width over [-max, max]. It
-// panics for bit widths outside [2, 16] or non-positive ranges; both are
-// construction-time programmer errors.
-func New(bits int, max float64) Quantizer {
+// New returns a quantizer with the given bit width over [-max, max]. Bit
+// widths outside [2, 16] and non-positive ranges are configuration errors —
+// both reach this constructor straight from CLI flags, so they are reported
+// rather than panicked.
+func New(bits int, max float64) (Quantizer, error) {
 	if bits < 2 || bits > 16 {
-		panic(fmt.Sprintf("quant: bit width must be in [2,16], got %d", bits))
+		return Quantizer{}, fmt.Errorf("quant: bit width must be in [2,16], got %d", bits)
 	}
 	if max <= 0 {
-		panic(fmt.Sprintf("quant: range must be positive, got %g", max))
+		return Quantizer{}, fmt.Errorf("quant: range must be positive, got %g", max)
 	}
-	return Quantizer{Bits: bits, Max: max}
+	return Quantizer{Bits: bits, Max: max}, nil
 }
 
 // Levels returns the number of representable values (2^Bits - 1).

@@ -9,8 +9,26 @@ import (
 	"neurotest/internal/stats"
 )
 
+func mustNew(t *testing.T, bits int, max float64) Quantizer {
+	t.Helper()
+	q, err := New(bits, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustScheme(t *testing.T, bits int, gran Granularity) Scheme {
+	t.Helper()
+	s, err := NewScheme(bits, gran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestQuantizerBasics(t *testing.T) {
-	q := New(8, 10)
+	q := mustNew(t, 8, 10)
 	if got := q.Levels(); got != 255 {
 		t.Errorf("Levels = %d, want 255", got)
 	}
@@ -36,16 +54,29 @@ func TestQuantizerBasics(t *testing.T) {
 	}
 }
 
-func TestQuantizerPanics(t *testing.T) {
-	assertPanics(t, "bits too small", func() { New(1, 10) })
-	assertPanics(t, "bits too large", func() { New(17, 10) })
-	assertPanics(t, "bad range", func() { New(8, 0) })
+func TestQuantizerErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bits int
+		max  float64
+	}{
+		{"bits too small", 1, 10},
+		{"bits too large", 17, 10},
+		{"bad range", 8, 0},
+	} {
+		if _, err := New(tc.bits, tc.max); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := New(8, 10); err != nil {
+		t.Errorf("valid quantizer rejected: %v", err)
+	}
 }
 
 func TestQuantizeErrorBound(t *testing.T) {
 	// Property: snap error is at most half a step inside the range, and
 	// quantization is idempotent.
-	q := New(6, 10)
+	q := mustNew(t, 6, 10)
 	f := func(seed uint64) bool {
 		r := stats.NewRNG(seed)
 		w := -10 + 20*r.Float64()
@@ -64,7 +95,7 @@ func TestQuantizeNetworkInPlace(t *testing.T) {
 	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
 	net.SetEntry(0, 0, 0, 3.33)
 	net.SetEntry(0, 1, 1, -7.77)
-	q := New(4, 10)
+	q := mustNew(t, 4, 10)
 	worst := q.QuantizeNetwork(net)
 	if worst > q.Step()/2+1e-12 {
 		t.Errorf("worst error %g exceeds half step %g", worst, q.Step()/2)
@@ -79,7 +110,7 @@ func TestQuantizeNetworkInPlace(t *testing.T) {
 }
 
 func TestRepresentable(t *testing.T) {
-	q := New(4, 10)
+	q := mustNew(t, 4, 10)
 	step := q.Step()
 	if !q.Representable(3*step, 1e-12) {
 		t.Errorf("grid point not representable")
@@ -90,7 +121,7 @@ func TestRepresentable(t *testing.T) {
 }
 
 func TestSchemeString(t *testing.T) {
-	s := NewScheme(8, PerChannel)
+	s := mustScheme(t, 8, PerChannel)
 	if got := s.String(); got != "8-bit per-channel" {
 		t.Errorf("String = %q", got)
 	}
@@ -110,7 +141,7 @@ func TestSchemeMaxAbsCalibration(t *testing.T) {
 	net.SetEntry(0, 1, 1, -10)
 	net.SetEntry(1, 0, 0, 0.725)
 	for _, gran := range []Granularity{PerNetwork, PerBoundary, PerChannel} {
-		s := NewScheme(8, gran)
+		s := mustScheme(t, 8, gran)
 		c, _ := s.QuantizedClone(net)
 		if got := c.Entry(0, 1, 1); got != -10 {
 			t.Errorf("%v: max magnitude moved to %g", gran, got)
@@ -126,7 +157,7 @@ func TestPerChannelPreservesPaperLevels(t *testing.T) {
 	net.SetEntry(0, 0, 0, 0.275) // ω_pt of ESF
 	net.SetEntry(0, 0, 1, 0.725) // ω_pt of HSF
 	// column 0: {0.275, 0, 0, 0}; column 1: {0.725, 0, 0, 0}
-	s := NewScheme(4, PerChannel)
+	s := mustScheme(t, 4, PerChannel)
 	c, worst := s.QuantizedClone(net)
 	if worst > 1e-12 {
 		t.Errorf("worst snap error %g, want exact", worst)
@@ -142,7 +173,7 @@ func TestPerBoundary4BitBreaksMixedColumns(t *testing.T) {
 	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
 	net.SetEntry(0, 0, 0, 0.725)
 	net.SetEntry(0, 1, 1, -10)
-	s := NewScheme(4, PerBoundary)
+	s := mustScheme(t, 4, PerBoundary)
 	c, _ := s.QuantizedClone(net)
 	got := c.Entry(0, 0, 0)
 	if got == 0.725 {
@@ -158,7 +189,7 @@ func TestSchemeZeroGroup(t *testing.T) {
 	// dividing by zero.
 	net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())
 	for _, gran := range []Granularity{PerNetwork, PerBoundary, PerChannel} {
-		s := NewScheme(8, gran)
+		s := mustScheme(t, 8, gran)
 		c, worst := s.QuantizedClone(net)
 		if worst != 0 {
 			t.Errorf("%v: worst error %g on zero network", gran, worst)
@@ -176,7 +207,10 @@ func TestSchemeZeroGroup(t *testing.T) {
 func TestSchemeIdempotentQuick(t *testing.T) {
 	f := func(seed uint64, granPick uint8) bool {
 		gran := Granularity(int(granPick) % 3)
-		s := NewScheme(6, gran)
+		s, err := NewScheme(6, gran)
+		if err != nil {
+			return false
+		}
 		net := snn.New(snn.Arch{3, 3, 2}, snn.DefaultParams())
 		r := stats.NewRNG(seed)
 		for b := range net.W {
@@ -203,8 +237,15 @@ func TestSchemeIdempotentQuick(t *testing.T) {
 	}
 }
 
-func TestSchemePanics(t *testing.T) {
-	assertPanics(t, "bits", func() { NewScheme(1, PerChannel) })
+func TestSchemeErrors(t *testing.T) {
+	if _, err := NewScheme(1, PerChannel); err == nil {
+		t.Errorf("bad bit width accepted")
+	}
+	if _, err := NewScheme(8, Granularity(9)); err == nil {
+		t.Errorf("unknown granularity accepted")
+	}
+	// A hand-built scheme bypassing the constructor still trips the deep
+	// internal invariant.
 	assertPanics(t, "gran", func() {
 		s := Scheme{Bits: 8, Gran: Granularity(9)}
 		net := snn.New(snn.Arch{2, 2}, snn.DefaultParams())

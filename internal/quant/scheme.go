@@ -48,12 +48,16 @@ type Scheme struct {
 	Gran Granularity
 }
 
-// NewScheme validates and returns a scheme.
-func NewScheme(bits int, gran Granularity) Scheme {
+// NewScheme validates and returns a scheme. Bit widths outside [2, 16] and
+// unknown granularities are configuration errors, typically from CLI flags.
+func NewScheme(bits int, gran Granularity) (Scheme, error) {
 	if bits < 2 || bits > 16 {
-		panic(fmt.Sprintf("quant: bit width must be in [2,16], got %d", bits))
+		return Scheme{}, fmt.Errorf("quant: bit width must be in [2,16], got %d", bits)
 	}
-	return Scheme{Bits: bits, Gran: gran}
+	if gran != PerNetwork && gran != PerBoundary && gran != PerChannel {
+		return Scheme{}, fmt.Errorf("quant: unknown granularity %v", gran)
+	}
+	return Scheme{Bits: bits, Gran: gran}, nil
 }
 
 // String renders the scheme, e.g. "8-bit per-channel".

@@ -38,19 +38,19 @@ type ATE struct {
 
 // WithTolerance sets the per-output spike-count pass band and returns the
 // ATE. A chip passes an item when every output count is within ±n of the
-// golden count.
+// golden count. Negative tolerances are a configuration error.
 //
 // The deterministic method uses n = 0 — its configurations engineer exact
 // outputs. Statistical baselines decide pass/fail from firing-rate
 // estimates whose resolution is bounded by their repetition budget, so
 // their production testers accept counts within the estimation resolution;
 // n = 1 models that band.
-func (a *ATE) WithTolerance(n int) *ATE {
+func (a *ATE) WithTolerance(n int) (*ATE, error) {
 	if n < 0 {
-		panic("tester: negative tolerance")
+		return nil, fmt.Errorf("tester: negative tolerance %d", n)
 	}
 	a.tolerance = n
-	return a
+	return a, nil
 }
 
 // matches reports whether got passes against want under the ATE's
@@ -162,11 +162,44 @@ func (a *ATE) RunChip(mods *snn.Modifiers, vary variation.Model, rng *stats.RNG)
 	return v
 }
 
+// WorkerError is a structured error recording a recovered panic from a
+// parallel campaign worker, with enough context to reproduce the failing
+// evaluation. A panicking worker used to take down the whole test process;
+// now it surfaces here instead.
+type WorkerError struct {
+	// Op names the campaign: "coverage", "overkill", "escape" or "session".
+	Op string
+	// Worker is the pool slot that hit the panic.
+	Worker int
+	// Chip is the chip index of population campaigns, or -1.
+	Chip int
+	// Fault is the fault under evaluation, when the campaign has one.
+	Fault *fault.Fault
+	// Panic is the recovered value.
+	Panic any
+}
+
+// Error renders the failure with its fault/chip context.
+func (e *WorkerError) Error() string {
+	site := ""
+	if e.Fault != nil {
+		site = fmt.Sprintf(" fault %v", *e.Fault)
+	}
+	if e.Chip >= 0 {
+		site += fmt.Sprintf(" chip %d", e.Chip)
+	}
+	return fmt.Sprintf("tester: %s worker %d panicked%s: %v", e.Op, e.Worker, site, e.Panic)
+}
+
 // CoverageResult summarises a fault-coverage campaign.
 type CoverageResult struct {
 	Total      int
 	Detected   int
 	Undetected []fault.Fault
+	// Errors holds structured worker failures (recovered panics, typically
+	// from malformed faults outside the architecture's universe). Errored
+	// faults count neither as detected nor undetected.
+	Errors []error
 }
 
 // Coverage returns the fault coverage percentage.
@@ -179,20 +212,54 @@ func (c CoverageResult) Coverage() float64 {
 
 // String renders like the paper's tables, e.g. "100.00%".
 func (c CoverageResult) String() string {
-	return fmt.Sprintf("%.2f%% (%d/%d)", c.Coverage(), c.Detected, c.Total)
+	s := fmt.Sprintf("%.2f%% (%d/%d)", c.Coverage(), c.Detected, c.Total)
+	if len(c.Errors) > 0 {
+		s += fmt.Sprintf(" [%d errored]", len(c.Errors))
+	}
+	return s
 }
 
 // MeasureCoverage runs exhaustive (incremental) fault simulation of the test
 // program over faults and reports coverage. Variation plays no role here —
 // coverage is a property of the deterministic design, per Tables 5/6.
+//
+// Faults are evaluated in parallel, one incremental engine per worker; a
+// worker panic (e.g. a fault site outside the architecture) is recovered
+// into CoverageResult.Errors instead of crashing the process, and the
+// result is identical to the serial evaluation regardless of scheduling.
 func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) CoverageResult {
-	eng := faultsim.New(a.ts, values, a.transform)
 	res := CoverageResult{Total: len(faults)}
-	for _, f := range faults {
-		if eng.Detects(f) {
+	if len(faults) == 0 {
+		return res
+	}
+	engines := make([]*faultsim.Engine, poolWorkers(len(faults)))
+	type verdict struct {
+		detected bool
+		err      error
+	}
+	verdicts := runWorkers(len(faults), func(i, w int) (v verdict) {
+		defer func() {
+			if p := recover(); p != nil {
+				f := faults[i]
+				v.err = &WorkerError{Op: "coverage", Worker: w, Chip: -1, Fault: &f, Panic: p}
+				// The engine may be mid-evaluation; rebuild before reuse.
+				engines[w] = nil
+			}
+		}()
+		if engines[w] == nil {
+			engines[w] = faultsim.New(a.ts, values, a.transform)
+		}
+		v.detected = engines[w].Detects(faults[i])
+		return v
+	})
+	for i, v := range verdicts {
+		switch {
+		case v.err != nil:
+			res.Errors = append(res.Errors, v.err)
+		case v.detected:
 			res.Detected++
-		} else {
-			res.Undetected = append(res.Undetected, f)
+		default:
+			res.Undetected = append(res.Undetected, faults[i])
 		}
 	}
 	return res
@@ -202,34 +269,95 @@ func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) Coverag
 // returns the percentage that fail the test program (the paper uses 300
 // chips). seed fixes the population; chips are simulated in parallel with
 // order-independent per-chip seeds, so results are reproducible regardless
-// of scheduling.
+// of scheduling. A worker panic is re-raised synchronously on the caller's
+// goroutine with fault context; OverkillCampaign returns it as an error
+// instead.
 func (a *ATE) MeasureOverkill(nChips int, vary variation.Model, seed uint64) float64 {
-	if nChips <= 0 {
-		return 0
+	pct, errs := a.OverkillCampaign(nChips, vary, seed)
+	if len(errs) > 0 {
+		panic(errs[0])
 	}
-	failed := a.countChips(nChips, func(i int, rng *stats.RNG) bool {
+	return pct
+}
+
+// OverkillCampaign is MeasureOverkill with recovered worker panics surfaced
+// as structured errors; errored chips are excluded from the percentage's
+// denominator.
+func (a *ATE) OverkillCampaign(nChips int, vary variation.Model, seed uint64) (float64, []error) {
+	return a.countChips("overkill", nChips, func(i int, rng *stats.RNG) bool {
 		return !a.RunChip(nil, vary, rng).Passed
 	}, seed)
-	return 100 * float64(failed) / float64(nChips)
 }
 
 // MeasureEscape simulates one faulty chip per fault in faults, each with its
 // own variation sample, and returns the percentage that pass the test
 // program (test escape). values parameterizes the injected faults; seed
-// fixes the population.
+// fixes the population. Worker panics re-raise synchronously; use
+// EscapeCampaign to receive them as errors.
 func (a *ATE) MeasureEscape(faults []fault.Fault, values fault.Values, vary variation.Model, seed uint64) float64 {
-	if len(faults) == 0 {
-		return 0
+	pct, errs := a.EscapeCampaign(faults, values, vary, seed)
+	if len(errs) > 0 {
+		panic(errs[0])
 	}
-	escaped := a.countChips(len(faults), func(i int, rng *stats.RNG) bool {
+	return pct
+}
+
+// EscapeCampaign is MeasureEscape with recovered worker panics surfaced as
+// structured errors; errored chips are excluded from the percentage's
+// denominator.
+func (a *ATE) EscapeCampaign(faults []fault.Fault, values fault.Values, vary variation.Model, seed uint64) (float64, []error) {
+	return a.countChips("escape", len(faults), func(i int, rng *stats.RNG) bool {
 		return a.RunChip(faults[i].Modifiers(values), vary, rng).Passed
 	}, seed)
-	return 100 * float64(escaped) / float64(len(faults))
 }
 
 // countChips evaluates pred for n independent chips in parallel and returns
-// how many satisfied it. Chip i always receives the same derived seed.
-func (a *ATE) countChips(n int, pred func(i int, rng *stats.RNG) bool, seed uint64) int {
+// the percentage that satisfied it, over the chips that evaluated cleanly.
+// Chip i always receives the same derived seed. Worker panics are recovered
+// into structured errors instead of killing the process.
+func (a *ATE) countChips(op string, n int, pred func(i int, rng *stats.RNG) bool, seed uint64) (float64, []error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	type verdict struct {
+		hit bool
+		err error
+	}
+	verdicts := runWorkers(n, func(i, w int) (v verdict) {
+		defer func() {
+			if p := recover(); p != nil {
+				v.err = &WorkerError{Op: op, Worker: w, Chip: i, Panic: p}
+			}
+		}()
+		v.hit = pred(i, stats.NewRNG(chipSeed(seed, i)))
+		return v
+	})
+	count, clean := 0, 0
+	var errs []error
+	for _, v := range verdicts {
+		if v.err != nil {
+			errs = append(errs, v.err)
+			continue
+		}
+		clean++
+		if v.hit {
+			count++
+		}
+	}
+	if clean == 0 {
+		return 0, errs
+	}
+	return 100 * float64(count) / float64(clean), errs
+}
+
+// chipSeed derives chip i's RNG seed from a campaign seed — SplitMix-style
+// decorrelation, independent of which worker runs the chip.
+func chipSeed(seed uint64, i int) uint64 {
+	return (seed + 0x9E3779B97F4A7C15*uint64(i+1)) ^ 0xD1B54A32D192ED03
+}
+
+// poolWorkers sizes a worker pool for n independent evaluations.
+func poolWorkers(n int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -237,8 +365,18 @@ func (a *ATE) countChips(n int, pred func(i int, rng *stats.RNG) bool, seed uint
 	if workers < 1 {
 		workers = 1
 	}
+	return workers
+}
+
+// runWorkers evaluates fn(i, w) for every i in [0, n) on a bounded worker
+// pool and returns the results indexed by i, so aggregation order — and any
+// error list built from it — is deterministic regardless of scheduling. w
+// is the pool slot running the evaluation: fn may keep per-slot scratch
+// state (each slot is a single goroutine).
+func runWorkers[T any](n int, fn func(i, w int) T) []T {
+	out := make([]T, n)
+	workers := poolWorkers(n)
 	var next int64 = -1
-	counts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -249,20 +387,12 @@ func (a *ATE) countChips(n int, pred func(i int, rng *stats.RNG) bool, seed uint
 				if i >= n {
 					return
 				}
-				// SplitMix-style decorrelation of per-chip seeds.
-				chipSeed := (seed + 0x9E3779B97F4A7C15*uint64(i+1)) ^ 0xD1B54A32D192ED03
-				if pred(i, stats.NewRNG(chipSeed)) {
-					counts[w]++
-				}
+				out[i] = fn(i, w)
 			}
 		}(w)
 	}
 	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	return out
 }
 
 // SampleFaults returns a deterministic stratified sample of up to max faults

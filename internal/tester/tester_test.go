@@ -164,7 +164,10 @@ func TestRunChipPanicsWithoutRNG(t *testing.T) {
 func TestGoldenAccessorsAndQuantizedATE(t *testing.T) {
 	arch := snn.Arch{6, 5, 4}
 	g, merged := smallSuite(t, arch, core.NoVariation())
-	sch := quant.NewScheme(8, quant.PerChannel)
+	sch, err := quant.NewScheme(8, quant.PerChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tf := func(n *snn.Network) *snn.Network { c, _ := sch.QuantizedClone(n); return c }
 	ate := New(merged, tf)
 	if ate.TestSet() != merged {
@@ -225,6 +228,85 @@ func TestSampleFaults(t *testing.T) {
 		if s[i] != s2[i] {
 			t.Fatalf("sample not deterministic at %d", i)
 		}
+	}
+}
+
+func TestNewSplitSeparatesGoldenFromChip(t *testing.T) {
+	// Golden responses come from the ideal model while chips are programmed
+	// through a lossy transform: the behavioural gap must show up as a
+	// failing good chip (the mechanism behind the paper's "overkill with
+	// quantization" rows), while sharing the transform on both sides
+	// cancels it.
+	arch := snn.Arch{6, 5, 4}
+	_, merged := smallSuite(t, arch, core.NoVariation())
+	halve := func(n *snn.Network) *snn.Network {
+		c := n.Clone()
+		for b := range c.W {
+			for i := range c.W[b] {
+				c.W[b][i] *= 0.5
+			}
+		}
+		return c
+	}
+	split := NewSplit(merged, nil, halve)
+	if v := split.RunChip(nil, variation.None(), nil); v.Passed {
+		t.Errorf("halved chip passed against ideal goldens")
+	}
+	shared := New(merged, halve)
+	if v := shared.RunChip(nil, variation.None(), nil); !v.Passed {
+		t.Errorf("shared transform did not cancel: failed item %d", v.FailedItem)
+	}
+	// The split ATE's goldens are the ideal ATE's goldens, untouched by the
+	// chip-side transform.
+	ideal := New(merged, nil)
+	for i := range merged.Items {
+		if !split.Golden(i).Equal(ideal.Golden(i)) {
+			t.Fatalf("split golden %d diverges from ideal", i)
+		}
+	}
+}
+
+func TestTolerancePassBandEdges(t *testing.T) {
+	arch := snn.Arch{6, 5, 4}
+	_, merged := smallSuite(t, arch, core.NoVariation())
+	ate, err := New(merged, nil).WithTolerance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ate.Golden(0)
+	shift := func(d int) snn.Result {
+		out := make([]int, len(g.SpikeCounts))
+		for i, c := range g.SpikeCounts {
+			out[i] = c + d
+		}
+		return snn.Result{SpikeCounts: out}
+	}
+	// Exactly ±n sits inside the pass band; ±(n+1) is outside.
+	if !ate.matches(shift(0), g) || !ate.matches(shift(1), g) || !ate.matches(shift(-1), g) {
+		t.Errorf("counts within ±1 rejected at tolerance 1")
+	}
+	if ate.matches(shift(2), g) || ate.matches(shift(-2), g) {
+		t.Errorf("counts at ±2 accepted at tolerance 1")
+	}
+	// Mismatched output widths never pass, whatever the tolerance.
+	short := snn.Result{SpikeCounts: g.SpikeCounts[:len(g.SpikeCounts)-1]}
+	if ate.matches(short, g) {
+		t.Errorf("narrower output accepted")
+	}
+	if ate.tolerance != 1 {
+		t.Fatalf("tolerance = %d", ate.tolerance)
+	}
+	// Tolerance 0 is exact comparison.
+	exact, err := New(merged, nil).WithTolerance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.matches(shift(1), g) || !exact.matches(shift(0), g) {
+		t.Errorf("tolerance 0 not exact")
+	}
+	// Negative tolerance is a configuration error, not a panic.
+	if _, err := New(merged, nil).WithTolerance(-1); err == nil {
+		t.Errorf("negative tolerance accepted")
 	}
 }
 

@@ -1,0 +1,64 @@
+package unreliable
+
+import (
+	"fmt"
+
+	"neurotest/internal/chip"
+	"neurotest/internal/stats"
+)
+
+// Upset identifies one single-event transient in a chip's weight memory:
+// bit Bit of the code stored at cell (Axon, Neuron) of core Core flipped.
+type Upset struct {
+	Core   int
+	Axon   int
+	Neuron int
+	Bit    int
+}
+
+// String renders the upset site for reports.
+func (u Upset) String() string {
+	return fmt.Sprintf("upset core %d cell (%d,%d) bit %d", u.Core, u.Axon, u.Neuron, u.Bit)
+}
+
+// Strike flips one uniformly chosen stored weight bit of a programmed chip,
+// drawn deterministically from rng — the radiation-test model of a
+// single-event upset between two test items. The struck site is returned so
+// a campaign can correlate verdict changes with upset locations; striking
+// the same site again (Revert) restores the cell.
+func Strike(c *chip.Chip, rng *stats.RNG) (Upset, error) {
+	if !c.Programmed() {
+		return Upset{}, fmt.Errorf("unreliable: upset on unprogrammed chip")
+	}
+	total := 0
+	for i := 0; i < c.NumCores(); i++ {
+		total += c.Core(i).Cells()
+	}
+	if total == 0 {
+		return Upset{}, fmt.Errorf("unreliable: chip has no weight cells")
+	}
+	cell := rng.Intn(total)
+	u := Upset{}
+	for i := 0; i < c.NumCores(); i++ {
+		n := c.Core(i).Cells()
+		if cell < n {
+			u.Core = i
+			u.Axon = cell / c.Core(i).Neurons
+			u.Neuron = cell % c.Core(i).Neurons
+			break
+		}
+		cell -= n
+	}
+	u.Bit = rng.Intn(c.Config().WeightBits)
+	if err := c.FlipWeightBit(u.Core, u.Axon, u.Neuron, u.Bit); err != nil {
+		return Upset{}, err
+	}
+	return u, nil
+}
+
+// Revert flips the upset bit back, restoring the stored code (though not
+// any write-noise offset the analog cell carried before the strike; see
+// chip.FlipWeightBit).
+func Revert(c *chip.Chip, u Upset) error {
+	return c.FlipWeightBit(u.Core, u.Axon, u.Neuron, u.Bit)
+}

@@ -28,6 +28,7 @@ import (
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
 	"neurotest/internal/tester"
+	"neurotest/internal/unreliable"
 	"neurotest/internal/variation"
 )
 
@@ -70,6 +71,8 @@ type (
 	CoverageResult = tester.CoverageResult
 	// QuantScheme is a data-driven weight quantization scheme.
 	QuantScheme = quant.Scheme
+	// Granularity selects how many weights share one quantization scale.
+	Granularity = quant.Granularity
 	// VariationModel is an i.i.d. Gaussian weight-variation regime.
 	VariationModel = variation.Model
 	// RNG is the deterministic random source used throughout.
@@ -106,8 +109,9 @@ func RegimeForSigma(omegaMax, sigma, c float64) Regime {
 // NewRNG returns a deterministic random source.
 func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
 
-// NewQuantScheme builds a quantization scheme.
-func NewQuantScheme(bits int, gran quant.Granularity) QuantScheme {
+// NewQuantScheme builds a quantization scheme. Bit widths outside [2, 16]
+// are configuration errors.
+func NewQuantScheme(bits int, gran quant.Granularity) (QuantScheme, error) {
 	return quant.NewScheme(bits, gran)
 }
 
@@ -217,6 +221,38 @@ func (m *Model) MeasureCoverage(kind FaultKind, ts *TestSet, scheme *QuantScheme
 	ate := m.NewATE(ts, scheme)
 	return ate.MeasureCoverage(m.Universe(kind), m.Values), nil
 }
+
+// Unreliable-chip session types re-exported from internal/unreliable and
+// internal/tester: reliability models for intermittent faults and noisy
+// readout, plus the ATE retest/quarantine policy layered on top.
+type (
+	// Intermittence gates a defect's activity per applied test item.
+	Intermittence = unreliable.Intermittence
+	// Readout corrupts observed spike counts (jitter, dropped reads).
+	Readout = unreliable.Readout
+	// ReliabilityProfile composes the reliability models of one chip.
+	ReliabilityProfile = unreliable.Profile
+	// RetestPolicy governs retest-on-fail budgets and voting.
+	RetestPolicy = tester.RetestPolicy
+	// SessionReport is the three-way verdict and accounting of one session.
+	SessionReport = tester.SessionReport
+	// SessionStats aggregates a population of chip sessions.
+	SessionStats = tester.SessionStats
+	// Outcome is the session verdict: Pass, Fail or Quarantine.
+	Outcome = tester.Outcome
+)
+
+// Session outcome constants.
+const (
+	OutcomePass       = tester.Pass
+	OutcomeFail       = tester.Fail
+	OutcomeQuarantine = tester.Quarantine
+)
+
+// ReliableChip returns the profile of the paper's deterministic evaluation:
+// the defect is permanently active and the readout is perfect. Sessions
+// under it with a zero RetestPolicy reproduce plain RunChip verdicts.
+func ReliableChip() ReliabilityProfile { return unreliable.Reliable() }
 
 // Diagnosis types re-exported from internal/diagnose.
 type (

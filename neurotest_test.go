@@ -67,7 +67,10 @@ func TestEndToEndCoverage(t *testing.T) {
 		}
 	}
 	// And under the paper's 4-bit quantization claim.
-	scheme := neurotest.NewQuantScheme(4, neurotest.PerChannel)
+	scheme, err := neurotest.NewQuantScheme(4, neurotest.PerChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for kind, ts := range suite.PerKind {
 		cov, err := m.MeasureCoverage(kind, ts, &scheme)
 		if err != nil {
@@ -139,7 +142,10 @@ func TestQuantizeTransform(t *testing.T) {
 	if neurotest.QuantizeTransform(nil) != nil {
 		t.Errorf("nil scheme should produce nil transform")
 	}
-	s := neurotest.NewQuantScheme(8, neurotest.PerChannel)
+	s, err := neurotest.NewQuantScheme(8, neurotest.PerChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tf := neurotest.QuantizeTransform(&s)
 	m := neurotest.NewModel(4, 3)
 	g, err := m.Generator(neurotest.NoVariation())
