@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check fmt build vet test race bench serve
 
 # check is the tier-1 gate: everything CI runs, runnable locally.
-check: vet build test race
+check: fmt vet build test race
+
+# fmt fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -14,10 +18,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# The session layer and the reliability models are the concurrency-heavy
-# packages; run them under the race detector explicitly.
+# The session layer, the reliability models and the daemon are the
+# concurrency-heavy packages; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/tester/... ./internal/unreliable/...
+	$(GO) test -race ./internal/tester/... ./internal/unreliable/... ./internal/service/...
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# serve runs the neurotestd test-floor daemon on its default address.
+serve:
+	$(GO) run ./cmd/neurotestd

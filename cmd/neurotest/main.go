@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,14 +37,43 @@ import (
 	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
 	"neurotest/internal/quant"
+	"neurotest/internal/service"
 	"neurotest/internal/snn"
 	"neurotest/internal/vcd"
 )
 
+// Exit codes: 0 success, 1 runtime failure (I/O, simulation, server), 2
+// usage error (bad flags or flag values) — the distinction scripts and CI
+// rely on to tell "you called it wrong" from "it broke".
+const (
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+// usageError marks flag-validation failures so main can exit with
+// exitUsage instead of exitRuntime.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError like fmt.Errorf.
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// asUsage wraps a non-nil validation error as a usage error.
+func asUsage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &usageError{err: err}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	var err error
 	switch os.Args[1] {
@@ -61,16 +91,22 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "flaky":
 		err = cmdFlaky(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(exitUsage)
+		}
+		os.Exit(exitRuntime)
 	}
 }
 
@@ -85,24 +121,26 @@ subcommands:
   margins    analyse variation tolerance of a generated test program
   trace      dump a test item's simulation as a VCD waveform
   flaky      sweep intermittent-fault and retest-budget test sessions
+  serve      launch the neurotestd test-floor daemon (same flags)
 
+exit codes: 0 ok, 1 runtime failure, 2 usage error
 run "neurotest <subcommand> -h" for flags`)
 }
 
 func parseArch(s string) (neurotest.Arch, error) {
 	if s == "" {
-		return nil, fmt.Errorf("missing -arch (e.g. 576-256-32-10)")
+		return nil, usagef("missing -arch (e.g. 576-256-32-10)")
 	}
 	parts := strings.Split(s, "-")
 	arch := make(neurotest.Arch, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.Atoi(p)
 		if err != nil {
-			return nil, fmt.Errorf("bad layer width %q in -arch", p)
+			return nil, usagef("bad layer width %q in -arch", p)
 		}
 		arch = append(arch, n)
 	}
-	return arch, arch.Validate()
+	return arch, asUsage(arch.Validate())
 }
 
 func parseKind(s string) (neurotest.FaultKind, bool, error) {
@@ -114,7 +152,7 @@ func parseKind(s string) (neurotest.FaultKind, bool, error) {
 			return k, false, nil
 		}
 	}
-	return 0, false, fmt.Errorf("unknown fault kind %q (want NASF, ESF, HSF, SWF, SASF or all)", s)
+	return 0, false, usagef("unknown fault kind %q (want NASF, ESF, HSF, SWF, SASF or all)", s)
 }
 
 func regimeOf(variationAware bool) neurotest.Regime {
@@ -181,7 +219,7 @@ func cmdInfo(args []string) error {
 	asJSON := fs.Bool("json-in", false, "input is JSON instead of compact binary")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("missing -i")
+		return usagef("missing -i")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -228,7 +266,7 @@ func cmdCoverage(args []string) error {
 		return err
 	}
 	if *bits < 0 {
-		return fmt.Errorf("-bits must be >= 0 (got %d)", *bits)
+		return usagef("-bits must be >= 0 (got %d)", *bits)
 	}
 	var scheme *neurotest.QuantScheme
 	if *bits > 0 {
@@ -241,11 +279,11 @@ func cmdCoverage(args []string) error {
 		case "channel":
 			g = quant.PerChannel
 		default:
-			return fmt.Errorf("unknown granularity %q (want network, boundary or channel)", *gran)
+			return usagef("unknown granularity %q (want network, boundary or channel)", *gran)
 		}
 		s, err := neurotest.NewQuantScheme(*bits, g)
 		if err != nil {
-			return fmt.Errorf("bad -bits: %w", err)
+			return usagef("bad -bits: %v", err)
 		}
 		scheme = &s
 	}
@@ -341,34 +379,34 @@ func parseFault(s string, arch neurotest.Arch) (neurotest.Fault, error) {
 	var zero neurotest.Fault
 	parts := strings.SplitN(s, ":", 2)
 	if len(parts) != 2 {
-		return zero, fmt.Errorf("bad fault %q (want KIND:indices)", s)
+		return zero, usagef("bad fault %q (want KIND:indices)", s)
 	}
 	kind, all, err := parseKind(parts[0])
 	if err != nil || all {
-		return zero, fmt.Errorf("bad fault kind %q", parts[0])
+		return zero, usagef("bad fault kind %q", parts[0])
 	}
 	var idx []int
 	for _, p := range strings.Split(parts[1], ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return zero, fmt.Errorf("bad index %q in %q", p, s)
+			return zero, usagef("bad index %q in %q", p, s)
 		}
 		idx = append(idx, n-1) // 1-based on the CLI, 0-based internally
 	}
 	if kind.IsNeuronFault() {
 		if len(idx) != 2 {
-			return zero, fmt.Errorf("%v needs layer,index", kind)
+			return zero, usagef("%v needs layer,index", kind)
 		}
 		if idx[0] < 1 || idx[0] >= arch.Layers() || idx[1] < 0 || idx[1] >= arch[idx[0]] {
-			return zero, fmt.Errorf("neuron (%d,%d) outside %v (input neurons have no faults)", idx[0]+1, idx[1]+1, arch)
+			return zero, usagef("neuron (%d,%d) outside %v (input neurons have no faults)", idx[0]+1, idx[1]+1, arch)
 		}
 		return fault.NewNeuronFault(kind, neurotest.NeuronID{Layer: idx[0], Index: idx[1]}), nil
 	}
 	if len(idx) != 3 {
-		return zero, fmt.Errorf("%v needs boundary,pre,post", kind)
+		return zero, usagef("%v needs boundary,pre,post", kind)
 	}
 	if idx[0] < 0 || idx[0] >= arch.Boundaries() || idx[1] < 0 || idx[1] >= arch[idx[0]] || idx[2] < 0 || idx[2] >= arch[idx[0]+1] {
-		return zero, fmt.Errorf("synapse (%d,%d,%d) outside %v", idx[0]+1, idx[1]+1, idx[2]+1, arch)
+		return zero, usagef("synapse (%d,%d,%d) outside %v", idx[0]+1, idx[1]+1, idx[2]+1, arch)
 	}
 	return fault.NewSynapseFault(kind, neurotest.SynapseID{Boundary: idx[0], Pre: idx[1], Post: idx[2]}), nil
 }
@@ -386,7 +424,7 @@ func cmdMargins(args []string) error {
 		return err
 	}
 	if *confidence <= 0 {
-		return fmt.Errorf("-confidence must be positive (got %g)", *confidence)
+		return usagef("-confidence must be positive (got %g)", *confidence)
 	}
 	m := neurotest.NewModel(arch...)
 	g, err := m.Generator(regimeOf(*varAware))
@@ -414,7 +452,7 @@ func parseFloatList(s, name string) ([]float64, error) {
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad value %q in %s", p, name)
+			return nil, usagef("bad value %q in %s", p, name)
 		}
 		out = append(out, v)
 	}
@@ -427,7 +465,7 @@ func parseIntList(s, name string) ([]int, error) {
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("bad value %q in %s", p, name)
+			return nil, usagef("bad value %q in %s", p, name)
 		}
 		out = append(out, v)
 	}
@@ -456,13 +494,13 @@ func cmdFlaky(args []string) error {
 		return err
 	}
 	if *nFaults < 0 || *nChips < 1 {
-		return fmt.Errorf("-faults must be >= 0 and -chips >= 1 (got %d, %d)", *nFaults, *nChips)
+		return usagef("-faults must be >= 0 and -chips >= 1 (got %d, %d)", *nFaults, *nChips)
 	}
 	if *jitter < 0 || *jitter > 1 || *drop < 0 || *drop >= 1 {
-		return fmt.Errorf("-jitter must be in [0,1] and -drop in [0,1) (got %g, %g)", *jitter, *drop)
+		return usagef("-jitter must be in [0,1] and -drop in [0,1) (got %g, %g)", *jitter, *drop)
 	}
 	if *jitterMag < 1 {
-		return fmt.Errorf("-jitter-mag must be >= 1 (got %d)", *jitterMag)
+		return usagef("-jitter-mag must be >= 1 (got %d)", *jitterMag)
 	}
 	cfg := experiments.Config{Seed: *seed, GoodChips: *nChips, EscapeSample: *nFaults}
 	if *probs != "" {
@@ -471,7 +509,7 @@ func cmdFlaky(args []string) error {
 		}
 		for _, p := range cfg.FlakyProbs {
 			if p < 0 || p > 1 {
-				return fmt.Errorf("-probs values must be in [0,1] (got %g)", p)
+				return usagef("-probs values must be in [0,1] (got %g)", p)
 			}
 		}
 	}
@@ -481,7 +519,7 @@ func cmdFlaky(args []string) error {
 		}
 		for _, b := range cfg.FlakyBudgets {
 			if b < 0 {
-				return fmt.Errorf("-budgets values must be >= 0 (got %d)", b)
+				return usagef("-budgets values must be >= 0 (got %d)", b)
 			}
 		}
 	}
@@ -498,6 +536,20 @@ func cmdFlaky(args []string) error {
 	}
 	experiments.FlakyTable(arch, readout.String(), policy, points).Render(os.Stdout)
 	return nil
+}
+
+// cmdServe launches the neurotestd daemon in-process. The flags are the
+// same Config registration cmd/neurotestd uses, so `neurotest serve` and
+// `neurotestd` cannot drift apart.
+func cmdServe(args []string) error {
+	cfg := service.DefaultConfig()
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg.RegisterFlags(fs)
+	fs.Parse(args)
+	if err := cfg.Validate(); err != nil {
+		return asUsage(err)
+	}
+	return service.ListenAndServe(cfg, os.Stdout)
 }
 
 func cmdTrace(args []string) error {
@@ -520,7 +572,7 @@ func cmdTrace(args []string) error {
 	}
 	_, merged := g.GenerateAll()
 	if *item < 0 || *item >= len(merged.Items) {
-		return fmt.Errorf("item %d out of [0,%d)", *item, len(merged.Items))
+		return usagef("item %d out of [0,%d)", *item, len(merged.Items))
 	}
 	it := merged.Items[*item]
 

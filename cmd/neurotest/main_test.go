@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -27,6 +28,20 @@ func run(t *testing.T, bin string, args ...string) (string, error) {
 	t.Helper()
 	out, err := exec.Command(bin, args...).CombinedOutput()
 	return string(out), err
+}
+
+// exitCode runs the CLI and returns its exit code (-1 if it did not run).
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
 }
 
 func TestCLIEndToEnd(t *testing.T) {
@@ -101,6 +116,46 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if _, err := run(t, bin, "nonsense"); err == nil {
 		t.Errorf("unknown subcommand accepted")
+	}
+}
+
+// TestCLIExitCodes pins the exit-code contract: flag-validation failures
+// exit 2 (usage), runtime failures exit 1.
+func TestCLIExitCodes(t *testing.T) {
+	bin := buildCLI(t)
+
+	usageCases := [][]string{
+		{},           // no subcommand
+		{"nonsense"}, // unknown subcommand
+		{"generate", "-arch", "bogus"},
+		{"generate", "-arch", "12-8-4", "-kind", "XYZ"},
+		{"info"}, // missing -i
+		{"coverage", "-arch", "12-8-4", "-bits", "-3"},
+		{"coverage", "-arch", "12-8-4", "-bits", "4", "-granularity", "weird"},
+		{"diagnose", "-arch", "12-8-4", "-inject", "HSF:99,99"},
+		{"margins", "-arch", "12-8-4", "-confidence", "-1"},
+		{"trace", "-arch", "12-8-4", "-item", "9999"},
+		{"flaky", "-arch", "12-8-4", "-probs", "1.5"},
+		{"serve", "-queue", "0"},
+	}
+	for _, args := range usageCases {
+		if code, out := exitCode(t, bin, args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (usage)\n%s", args, code, out)
+		}
+	}
+
+	runtimeCases := [][]string{
+		{"info", "-i", filepath.Join(t.TempDir(), "does-not-exist.bin")},
+		{"generate", "-arch", "12-8-4", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "t.bin")},
+	}
+	for _, args := range runtimeCases {
+		if code, out := exitCode(t, bin, args...); code != 1 {
+			t.Errorf("%v: exit %d, want 1 (runtime)\n%s", args, code, out)
+		}
+	}
+
+	if code, out := exitCode(t, bin, "generate", "-arch", "12-8-4"); code != 0 {
+		t.Errorf("good generate: exit %d, want 0\n%s", code, out)
 	}
 }
 

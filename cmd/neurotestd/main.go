@@ -1,0 +1,45 @@
+// Command neurotestd is the test-floor daemon: a stdlib-only HTTP service
+// for on-demand test-suite generation and campaign jobs over a
+// content-addressed artifact cache and a bounded job queue.
+//
+// Usage:
+//
+//	neurotestd [-addr localhost:7823] [-queue 64] [-workers N]
+//	           [-cache-bytes 268435456] [-max-weights 16777216]
+//
+// Endpoints (see DESIGN.md §9 for the full table):
+//
+//	POST   /v1/generate        generate (or fetch cached) a test suite
+//	GET    /v1/artifacts/{key} download the binary suite
+//	POST   /v1/coverage        submit a fault-coverage campaign job
+//	POST   /v1/sessions        submit an unreliable-chip session campaign
+//	GET    /v1/jobs/{id}       poll a job
+//	GET    /v1/jobs/{id}/stream stream job state as NDJSON
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /healthz, /metrics  liveness and expvar-style counters
+//
+// `neurotest serve` launches the same daemon with the same flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neurotest/internal/service"
+)
+
+func main() {
+	cfg := service.DefaultConfig()
+	fs := flag.NewFlagSet("neurotestd", flag.ExitOnError)
+	cfg.RegisterFlags(fs)
+	fs.Parse(os.Args[1:])
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	if err := service.ListenAndServe(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+)
+
+// contextEngine builds a tiny engine with a hand-made two-item set.
+func contextEngine(t *testing.T) (*Engine, fault.Fault) {
+	t.Helper()
+	arch := snn.Arch{3, 2}
+	params := snn.DefaultParams()
+	ts := pattern.NewTestSet("ctx", arch, params)
+	cfg := snn.New(arch, params)
+	for i := range cfg.W[0] {
+		cfg.W[0][i] = params.Theta * 1.5
+	}
+	ci := ts.AddConfig(cfg)
+	p := snn.NewPattern(3)
+	p[0] = true
+	ts.AddItem(pattern.Item{Label: "a", ConfigIndex: ci, Pattern: p, Timesteps: 4})
+	ts.AddItem(pattern.Item{Label: "b", ConfigIndex: ci, Pattern: p.Clone(), Timesteps: 4})
+	values := fault.PaperValues(params.Theta)
+	f := fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 0})
+	return New(ts, values, nil), f
+}
+
+func TestDetectsContextMatchesPlain(t *testing.T) {
+	e, f := contextEngine(t)
+	det, err := e.DetectsContext(context.Background(), f)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if det != e.Detects(f) {
+		t.Fatalf("DetectsContext = %v, Detects = %v", det, e.Detects(f))
+	}
+}
+
+func TestDetectsContextPreCancelled(t *testing.T) {
+	e, f := contextEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	det, err := e.DetectsContext(ctx, f)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if det {
+		t.Fatal("cancelled scan must not report a detection")
+	}
+	if i, err := e.DetectingItemContext(ctx, f); i != -1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("DetectingItemContext = (%d, %v), want (-1, context.Canceled)", i, err)
+	}
+}

@@ -20,6 +20,7 @@
 package faultsim
 
 import (
+	"context"
 	"math/bits"
 
 	"neurotest/internal/fault"
@@ -114,12 +115,31 @@ func (e *Engine) Detects(f fault.Fault) bool { return e.DetectingItem(f) >= 0 }
 
 // DetectingItem returns the index of the first item that detects f, or -1.
 func (e *Engine) DetectingItem(f fault.Fault) int {
+	i, _ := e.DetectingItemContext(context.Background(), f)
+	return i
+}
+
+// DetectsContext is Detects with cooperative cancellation: the item scan
+// checks ctx between items, so a long campaign stops promptly when its
+// context is cancelled. The returned error is ctx.Err() on cancellation and
+// nil otherwise.
+func (e *Engine) DetectsContext(ctx context.Context, f fault.Fault) (bool, error) {
+	i, err := e.DetectingItemContext(ctx, f)
+	return i >= 0, err
+}
+
+// DetectingItemContext is DetectingItem with cooperative cancellation. On
+// cancellation it returns (-1, ctx.Err()) without finishing the scan.
+func (e *Engine) DetectingItemContext(ctx context.Context, f fault.Fault) (int, error) {
 	for i := range e.items {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		if e.detectsOn(&e.items[i], f) {
-			return i
+			return i, nil
 		}
 	}
-	return -1
+	return -1, nil
 }
 
 // Coverage returns how many of the given faults the test set detects.

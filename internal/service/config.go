@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// Config parameterizes the daemon. Both cmd/neurotestd and the `neurotest
+// serve` subcommand register the same flags over it, so the two entry
+// points cannot drift.
+type Config struct {
+	// Addr is the listen address, e.g. ":7823" or "localhost:7823".
+	Addr string
+	// QueueCapacity bounds *waiting* campaign jobs; a full queue refuses
+	// submissions with 503 + Retry-After.
+	QueueCapacity int
+	// Workers is the number of concurrent campaign jobs (each job's
+	// campaign additionally parallelizes internally over GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds the artifact cache by encoded suite bytes
+	// (<= 0 = unbounded).
+	CacheBytes int64
+	// MaxWeights rejects generation requests whose architecture implies
+	// more than this many weights per configuration, keeping one artifact
+	// within a sane fraction of the cache (0 = default).
+	MaxWeights int
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:          "localhost:7823",
+		QueueCapacity: 64,
+		Workers:       maxInt(1, runtime.GOMAXPROCS(0)/2),
+		CacheBytes:    256 << 20,
+		MaxWeights:    16 << 20,
+	}
+}
+
+// RegisterFlags registers the daemon flags over the config's current values
+// (call on a DefaultConfig for the documented defaults).
+func (c *Config) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Addr, "addr", c.Addr, "listen address")
+	fs.IntVar(&c.QueueCapacity, "queue", c.QueueCapacity, "bounded job-queue capacity (full queue answers 503)")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "concurrent campaign jobs")
+	fs.Int64Var(&c.CacheBytes, "cache-bytes", c.CacheBytes, "artifact cache budget in encoded bytes (<=0 unbounded)")
+	fs.IntVar(&c.MaxWeights, "max-weights", c.MaxWeights, "largest per-configuration weight count accepted")
+}
+
+// Validate rejects nonsensical configurations before anything listens.
+func (c Config) Validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("service: empty listen address")
+	}
+	if c.QueueCapacity < 1 {
+		return fmt.Errorf("service: queue capacity must be >= 1 (got %d)", c.QueueCapacity)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("service: workers must be >= 1 (got %d)", c.Workers)
+	}
+	return nil
+}
+
+// ListenAndServe runs the daemon until the process is interrupted
+// (SIGINT/SIGTERM), then shuts down gracefully: the listener closes, running
+// campaign jobs are cancelled through their contexts, and in-flight
+// responses get a drain window.
+func ListenAndServe(cfg Config, logw io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	srv := New(cfg)
+	defer srv.Close()
+	hs := &http.Server{Addr: cfg.Addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(logw, "neurotestd listening on %s (queue %d, workers %d, cache %d bytes)\n",
+		cfg.Addr, cfg.QueueCapacity, cfg.Workers, cfg.CacheBytes)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(logw, "neurotestd: signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close() // cancel campaigns so streaming watchers terminate
+		return hs.Shutdown(sctx)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package service
+
+import "sync/atomic"
+
+// Metrics holds the daemon's expvar-style counters. Every field is an
+// atomic so handlers, cache and workers bump them without locking; the
+// /metrics endpoint renders a point-in-time snapshot as flat JSON, with the
+// queue/cache gauges merged in by the server at render time.
+type Metrics struct {
+	// HTTP traffic.
+	HTTPRequests atomic.Int64
+
+	// Artifact cache.
+	CacheHits          atomic.Int64 // suite served from a resident entry
+	CacheMisses        atomic.Int64 // suite had to be computed
+	CacheEvictions     atomic.Int64 // entries dropped by the LRU bound
+	SingleflightDedups atomic.Int64 // concurrent identical requests folded into one computation
+	SuiteGenerations   atomic.Int64 // generation computations actually run
+	GoldenBuilds       atomic.Int64 // ATE golden-trace constructions (memoization misses)
+
+	// Job lifecycle.
+	JobsSubmitted atomic.Int64
+	JobsRejected  atomic.Int64 // backpressure 503s
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+
+	// Worker pool.
+	WorkersBusy atomic.Int64 // gauge: workers currently running a job
+}
+
+// Snapshot returns the counters as a flat map for JSON rendering.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"http_requests":       m.HTTPRequests.Load(),
+		"cache_hits":          m.CacheHits.Load(),
+		"cache_misses":        m.CacheMisses.Load(),
+		"cache_evictions":     m.CacheEvictions.Load(),
+		"singleflight_dedups": m.SingleflightDedups.Load(),
+		"suite_generations":   m.SuiteGenerations.Load(),
+		"golden_builds":       m.GoldenBuilds.Load(),
+		"jobs_submitted":      m.JobsSubmitted.Load(),
+		"jobs_rejected":       m.JobsRejected.Load(),
+		"jobs_done":           m.JobsDone.Load(),
+		"jobs_failed":         m.JobsFailed.Load(),
+		"jobs_cancelled":      m.JobsCancelled.Load(),
+		"workers_busy":        m.WorkersBusy.Load(),
+	}
+}

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue has no slot;
+// the HTTP layer maps it to 503 + Retry-After (backpressure, not failure).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQueueClosed is returned by Submit after Close.
+var ErrQueueClosed = errors.New("service: job queue closed")
+
+// JobState is the lifecycle of a campaign job.
+type JobState int32
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+// String renders the state for JSON and logs.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one queued campaign. All mutable fields are guarded by mu; the
+// changed channel is closed and replaced on every state transition so
+// streaming watchers wake without polling.
+type Job struct {
+	ID   string
+	Kind string
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	errMsg   string
+	changed  chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context) (any, error)
+}
+
+// JobStatus is the JSON shape of a job snapshot.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    string     `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   any        `json:"result,omitempty"`
+}
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.ID,
+		Kind:    j.Kind,
+		State:   j.state.String(),
+		Created: j.created,
+		Error:   j.errMsg,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// watch returns the current status and a channel closed on the next state
+// change — the streaming endpoint's wait primitive.
+func (j *Job) watch() (JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	ch := j.changed
+	j.mu.Unlock()
+	return j.Status(), ch
+}
+
+// signalLocked wakes watchers; callers hold mu.
+func (j *Job) signalLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// start transitions queued → running; false when the job was cancelled
+// while waiting in the queue (the worker then skips it).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.signalLocked()
+	return true
+}
+
+// finish records the outcome of a run.
+func (j *Job) finish(result any, err error) JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = result
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.state = JobCancelled
+		j.errMsg = "cancelled"
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.signalLocked()
+	return j.state
+}
+
+// Cancel requests cancellation: a queued job is finalized immediately, a
+// running job has its context cancelled and finalizes when its campaign
+// pool drains. Returns false if the job was already terminal.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	wasQueued := j.state == JobQueued
+	terminal := j.state.Terminal()
+	if wasQueued {
+		j.state = JobCancelled
+		j.errMsg = "cancelled"
+		j.finished = time.Now()
+		j.signalLocked()
+	}
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel() // threads down through the campaign worker pools
+	return true
+}
+
+// Queue is the bounded job queue plus its worker pool. Submit applies
+// backpressure by failing fast when the buffer is full — the service's
+// contract is "queue or refuse", never unbounded memory growth.
+type Queue struct {
+	ch      chan *Job
+	metrics *Metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewQueue starts workers goroutines draining a queue of the given
+// capacity. Capacity bounds *waiting* jobs; running jobs occupy workers.
+func NewQueue(capacity, workers int, m *Metrics) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{
+		ch:      make(chan *Job, capacity),
+		metrics: m,
+		jobs:    make(map[string]*Job),
+	}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues a job whose body is run. It never blocks: a full queue
+// returns ErrQueueFull immediately so the HTTP layer can 503.
+func (q *Queue) Submit(kind string, run func(ctx context.Context) (any, error)) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		Kind:    kind,
+		state:   JobQueued,
+		created: time.Now(),
+		changed: make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+		run:     run,
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		cancel()
+		return nil, ErrQueueClosed
+	}
+	q.nextID++
+	j.ID = fmt.Sprintf("job-%06d", q.nextID)
+	// Reserve the slot under the lock so registration and enqueue agree.
+	select {
+	case q.ch <- j:
+	default:
+		q.mu.Unlock()
+		cancel()
+		q.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.mu.Unlock()
+	q.metrics.JobsSubmitted.Add(1)
+	return j, nil
+}
+
+// Get returns a job by ID, or nil.
+func (q *Queue) Get(id string) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.jobs[id]
+}
+
+// List returns every known job in submission order.
+func (q *Queue) List() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id])
+	}
+	return out
+}
+
+// Depth returns the number of jobs waiting in the buffer.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Capacity returns the queue's buffer size.
+func (q *Queue) Capacity() int { return cap(q.ch) }
+
+// CountByState tallies known jobs per state, for /metrics.
+func (q *Queue) CountByState() map[string]int {
+	counts := map[string]int{
+		JobQueued.String(): 0, JobRunning.String(): 0, JobDone.String(): 0,
+		JobFailed.String(): 0, JobCancelled.String(): 0,
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.jobs {
+		j.mu.Lock()
+		counts[j.state.String()]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// Close stops accepting jobs, cancels everything outstanding and waits for
+// the workers to drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		jobs = append(jobs, j)
+	}
+	q.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	close(q.ch)
+	q.wg.Wait()
+}
+
+// worker drains the queue. A panicking job body is recovered into a failed
+// job — the campaign layers already recover their own pool panics into
+// structured WorkerErrors, so anything reaching here is a service bug, and
+// it must not take the daemon down.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		if !j.start() {
+			// Cancelled while queued: it is already terminal, count it as
+			// it drains.
+			q.metrics.JobsCancelled.Add(1)
+			continue
+		}
+		q.metrics.WorkersBusy.Add(1)
+		result, err := runSafely(j)
+		q.metrics.WorkersBusy.Add(-1)
+		switch j.finish(result, err) {
+		case JobDone:
+			q.metrics.JobsDone.Add(1)
+		case JobFailed:
+			q.metrics.JobsFailed.Add(1)
+		case JobCancelled:
+			q.metrics.JobsCancelled.Add(1)
+		}
+	}
+}
+
+// runSafely runs the job body, converting panics into errors.
+func runSafely(j *Job) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job %s panicked: %v", j.ID, p)
+		}
+	}()
+	return j.run(j.ctx)
+}

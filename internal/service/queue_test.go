@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockingJob returns a job body that parks until release is closed (or the
+// job is cancelled), so tests can hold a worker busy deterministically.
+func blockingJob(release <-chan struct{}) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+			return "released", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// waitState polls until the job reaches the state or the deadline passes.
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status().State == want.String() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q, want %q", j.ID, j.Status().State, want)
+}
+
+func TestQueueRunsJobs(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(4, 2, m)
+	defer q.Close()
+
+	j, err := q.Submit("test", func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobDone)
+	st := j.Status()
+	if st.Result != 42 {
+		t.Errorf("result = %v, want 42", st.Result)
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Errorf("done job missing timestamps: %+v", st)
+	}
+	if got := m.JobsDone.Load(); got != 1 {
+		t.Errorf("jobs_done = %d, want 1", got)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(1, 1, m)
+	defer q.Close()
+	release := make(chan struct{})
+	defer close(release)
+
+	// First job occupies the single worker (waitState guarantees it left the
+	// buffer), second fills the single buffer slot, third must be refused.
+	running, err := q.Submit("block", blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, JobRunning)
+	if _, err := q.Submit("block", blockingJob(release)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := q.Submit("overflow", blockingJob(release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if got := m.JobsRejected.Load(); got != 1 {
+		t.Errorf("jobs_rejected = %d, want 1", got)
+	}
+}
+
+func TestQueueCancelWhileQueued(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(2, 1, m)
+	defer q.Close()
+	release := make(chan struct{})
+	defer close(release)
+
+	running, err := q.Submit("block", blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, JobRunning)
+	queued, err := q.Submit("victim", blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelling a queued job finalizes it immediately — no worker needed.
+	if !queued.Cancel() {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	if st := queued.Status(); st.State != "cancelled" || st.Error != "cancelled" {
+		t.Errorf("cancelled-while-queued status: %+v", st)
+	}
+	if queued.Cancel() {
+		t.Error("second Cancel on a terminal job returned true")
+	}
+}
+
+func TestQueueCancelRunning(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(2, 1, m)
+	defer q.Close()
+	release := make(chan struct{})
+	defer close(release)
+
+	j, err := q.Submit("block", blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobRunning)
+	if !j.Cancel() {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	waitState(t, j, JobCancelled)
+	if got := m.JobsCancelled.Load(); got != 1 {
+		t.Errorf("jobs_cancelled = %d, want 1", got)
+	}
+}
+
+func TestQueuePanicBecomesFailed(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(2, 1, m)
+	defer q.Close()
+
+	j, err := q.Submit("boom", func(ctx context.Context) (any, error) { panic("kaput") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobFailed)
+	if st := j.Status(); !strings.Contains(st.Error, "kaput") {
+		t.Errorf("panic not surfaced in error: %+v", st)
+	}
+	if got := m.JobsFailed.Load(); got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+
+	// The worker survived the panic and still runs jobs.
+	ok, err := q.Submit("after", func(ctx context.Context) (any, error) { return "fine", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ok, JobDone)
+}
+
+func TestQueueCloseRefusesAndDrains(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(2, 1, m)
+	release := make(chan struct{})
+	defer close(release)
+	j, err := q.Submit("block", blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobRunning)
+	q.Close()
+	if !j.Done() {
+		t.Error("Close returned with a job still live")
+	}
+	if _, err := q.Submit("late", blockingJob(release)); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("submit after close: %v, want ErrQueueClosed", err)
+	}
+}

@@ -1,0 +1,578 @@
+// Package service implements neurotestd, the test-floor daemon: JSON
+// endpoints for on-demand test-suite generation and campaign jobs
+// (coverage, unreliable-chip sessions) multiplexed over a content-addressed
+// artifact cache and a bounded job queue.
+//
+// The design goal mirrors the paper's: generation is cheap enough (O(L)
+// configurations and patterns) to run per chip model on demand — but only
+// if the expensive shared substrate (generated suites, memoized golden
+// traces) is computed once and reused across requests. The cache is keyed
+// by a canonical hash of (arch, params, regime, quant scheme, fault kind);
+// identical concurrent requests are folded into one computation
+// (singleflight); campaign jobs flow through a bounded queue whose
+// backpressure is an explicit 503 + Retry-After, and are cancellable via
+// context propagation down through the tester worker pools.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/quant"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+	"neurotest/internal/unreliable"
+	"neurotest/internal/variation"
+)
+
+// maxRequestBody bounds request JSON (campaign descriptions are tiny).
+const maxRequestBody = 1 << 20
+
+// Server wires the cache, queue and metrics behind the HTTP API.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	queue   *Queue
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server (no listener; see Handler and ListenAndServe).
+func New(cfg Config) *Server {
+	if cfg.MaxWeights <= 0 {
+		cfg.MaxWeights = DefaultConfig().MaxWeights
+	}
+	m := &Metrics{}
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   NewCache(cfg.CacheBytes, m),
+		queue:   NewQueue(cfg.QueueCapacity, cfg.Workers, m),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.HTTPRequests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close cancels outstanding jobs and stops the worker pool.
+func (s *Server) Close() { s.queue.Close() }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
+	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// --- request shapes -------------------------------------------------------
+
+type quantRequest struct {
+	Bits        int    `json:"bits"`
+	Granularity string `json:"granularity"` // "network", "boundary", "channel" (default)
+}
+
+// generateRequest selects one artifact. It doubles as the spec prefix of
+// every campaign request, so a campaign's suite key equals the generate
+// key for the same body.
+type generateRequest struct {
+	Arch           []int         `json:"arch"`
+	Kind           string        `json:"kind"`            // fault model or "all" (default)
+	VariationAware bool          `json:"variation_aware"` // Tables 1/2 "Yes" settings
+	Quant          *quantRequest `json:"quant"`           // nil = ideal weights
+}
+
+type generateResponse struct {
+	SuiteSummary
+	Cached bool   `json:"cached"`
+	Source string `json:"source"` // "miss", "hit" or "dedup"
+	Href   string `json:"href"`   // where the binary suite is served
+}
+
+type coverageRequest struct {
+	generateRequest
+	// Sample caps the evaluated fault population (0 = exhaustive universe).
+	Sample int    `json:"sample"`
+	Seed   uint64 `json:"seed"`
+}
+
+type coverageJobResult struct {
+	SuiteKey   string   `json:"suite_key"`
+	Kind       string   `json:"kind"`
+	Faults     int      `json:"faults"`
+	Detected   int      `json:"detected"`
+	Coverage   float64  `json:"coverage_pct"`
+	Undetected []string `json:"undetected,omitempty"` // first few, for triage
+	Errored    int      `json:"errored"`
+}
+
+type sessionsRequest struct {
+	generateRequest
+	// Chips is the population size; Faulty selects whether each die carries
+	// an injected defect (sampled from the fault universe) or is good.
+	Chips  int  `json:"chips"`
+	Faulty bool `json:"faulty"`
+	// Sample caps the defect universe the faulty population draws from
+	// (0 = exhaustive).
+	Sample int `json:"sample"`
+	// Reliability profile (defaults: always-active fault, perfect readout).
+	ActivationP *float64 `json:"activation_p"`
+	Burst       bool     `json:"burst"`
+	Persist     float64  `json:"persist"`
+	JitterP     float64  `json:"jitter_p"`
+	JitterMag   int      `json:"jitter_mag"`
+	DropP       float64  `json:"drop_p"`
+	// Retest policy and pass band.
+	MaxRetests int  `json:"max_retests"`
+	Vote       bool `json:"vote"`
+	Tolerance  int  `json:"tolerance"`
+	// VariationSigma is the weight-variation σ as a fraction of θ.
+	VariationSigma float64 `json:"variation_sigma"`
+	Seed           uint64  `json:"seed"`
+}
+
+type sessionsJobResult struct {
+	SuiteKey       string  `json:"suite_key"`
+	Profile        string  `json:"profile"`
+	Chips          int     `json:"chips"`
+	Pass           int     `json:"pass"`
+	Fail           int     `json:"fail"`
+	Quarantine     int     `json:"quarantine"`
+	PassRate       float64 `json:"pass_rate_pct"`
+	FailRate       float64 `json:"fail_rate_pct"`
+	QuarantineRate float64 `json:"quarantine_rate_pct"`
+	ItemsRun       int     `json:"items_run"`
+	BaselineItems  int     `json:"baseline_items"`
+	Retests        int     `json:"retests"`
+	DroppedReads   int     `json:"dropped_reads"`
+	Amplification  float64 `json:"amplification"`
+	Errored        int     `json:"errored"`
+}
+
+// --- request resolution ---------------------------------------------------
+
+// badRequest marks client errors (400) apart from server failures (500).
+type badRequest struct{ msg string }
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badf(format string, args ...any) error {
+	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveSpec validates a generate request into a canonical SuiteSpec.
+func (s *Server) resolveSpec(req generateRequest) (SuiteSpec, error) {
+	spec := SuiteSpec{VariationAware: req.VariationAware}
+	if len(req.Arch) == 0 {
+		return spec, badf("missing arch (e.g. [576,256,32,10])")
+	}
+	arch := snn.Arch(req.Arch)
+	if err := arch.Validate(); err != nil {
+		return spec, &badRequest{msg: err.Error()}
+	}
+	weights := 0
+	for b := 0; b < arch.Boundaries(); b++ {
+		weights += arch[b] * arch[b+1]
+	}
+	if weights > s.cfg.MaxWeights {
+		return spec, badf("architecture %v has %d weights per configuration, above the service limit %d", arch, weights, s.cfg.MaxWeights)
+	}
+	spec.Arch = arch
+	switch kind := strings.TrimSpace(req.Kind); {
+	case kind == "" || strings.EqualFold(kind, "all"):
+		spec.KindAll = true
+	default:
+		found := false
+		for _, k := range fault.Kinds() {
+			if strings.EqualFold(kind, k.String()) {
+				spec.Kind, found = k, true
+				break
+			}
+		}
+		if !found {
+			return spec, badf("unknown fault kind %q (want NASF, ESF, HSF, SWF, SASF or all)", req.Kind)
+		}
+	}
+	if req.Quant != nil {
+		var g quant.Granularity
+		switch strings.ToLower(strings.TrimSpace(req.Quant.Granularity)) {
+		case "", "channel":
+			g = quant.PerChannel
+		case "boundary":
+			g = quant.PerBoundary
+		case "network":
+			g = quant.PerNetwork
+		default:
+			return spec, badf("unknown quant granularity %q (want network, boundary or channel)", req.Quant.Granularity)
+		}
+		scheme, err := quant.NewScheme(req.Quant.Bits, g)
+		if err != nil {
+			return spec, &badRequest{msg: err.Error()}
+		}
+		spec.Scheme = &scheme
+	}
+	return spec, nil
+}
+
+// resolveProfile validates the reliability knobs of a sessions request.
+func resolveProfile(req sessionsRequest) (unreliable.Profile, error) {
+	p := 1.0
+	if req.ActivationP != nil {
+		p = *req.ActivationP
+	}
+	if p < 0 || p > 1 {
+		return unreliable.Profile{}, badf("activation_p must be in [0,1] (got %g)", p)
+	}
+	if req.Burst && (req.Persist < 0 || req.Persist > 1) {
+		return unreliable.Profile{}, badf("persist must be in [0,1] (got %g)", req.Persist)
+	}
+	if req.JitterP < 0 || req.JitterP > 1 || req.DropP < 0 || req.DropP >= 1 {
+		return unreliable.Profile{}, badf("jitter_p must be in [0,1] and drop_p in [0,1) (got %g, %g)", req.JitterP, req.DropP)
+	}
+	if req.JitterMag < 0 {
+		return unreliable.Profile{}, badf("jitter_mag must be >= 0 (got %d)", req.JitterMag)
+	}
+	return unreliable.Profile{
+		Intermittence: unreliable.Intermittence{P: p, Burst: req.Burst, Persist: req.Persist},
+		Readout:       unreliable.Readout{JitterP: req.JitterP, JitterMag: req.JitterMag, DropP: req.DropP},
+	}, nil
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := s.resolveSpec(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	art, src, err := s.cache.Suite(spec)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, generateResponse{
+		SuiteSummary: art.Summary,
+		Cached:       src != SourceMiss,
+		Source:       src.String(),
+		Href:         "/v1/artifacts/" + art.Key,
+	})
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	art := s.cache.Lookup(key)
+	if art == nil {
+		httpError(w, http.StatusNotFound, "no resident artifact %q (evicted or never generated — POST /v1/generate to recreate it)", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", `"`+art.Key+`"`)
+	w.Header().Set("Content-Length", fmt.Sprint(len(art.Bytes)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(art.Bytes)
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	var req coverageRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := s.resolveSpec(req.generateRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Sample < 0 {
+		s.fail(w, badf("sample must be >= 0 (got %d)", req.Sample))
+		return
+	}
+	s.submit(w, r, "coverage", func(ctx context.Context) (any, error) {
+		art, _, err := s.cache.Suite(spec)
+		if err != nil {
+			return nil, err
+		}
+		ate, err := art.ATE()
+		if err != nil {
+			return nil, err
+		}
+		kinds := []fault.Kind{spec.Kind}
+		if spec.KindAll {
+			kinds = fault.Kinds()
+		}
+		faults := tester.SampleFaults(spec.Arch, kinds, req.Sample, req.Seed)
+		cov, err := ate.MeasureCoverageContext(ctx, faults, spec.Model().Values)
+		if err != nil {
+			return nil, err
+		}
+		res := coverageJobResult{
+			SuiteKey: art.Key,
+			Kind:     spec.KindName(),
+			Faults:   cov.Total,
+			Detected: cov.Detected,
+			Coverage: cov.Coverage(),
+			Errored:  len(cov.Errors),
+		}
+		for i, f := range cov.Undetected {
+			if i >= 10 {
+				break
+			}
+			res.Undetected = append(res.Undetected, f.String())
+		}
+		return res, nil
+	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	var req sessionsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := s.resolveSpec(req.generateRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Chips < 1 {
+		s.fail(w, badf("chips must be >= 1 (got %d)", req.Chips))
+		return
+	}
+	if req.Sample < 0 || req.MaxRetests < 0 || req.Tolerance < 0 || req.VariationSigma < 0 {
+		s.fail(w, badf("sample, max_retests, tolerance and variation_sigma must be >= 0"))
+		return
+	}
+	prof, err := resolveProfile(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.submit(w, r, "sessions", func(ctx context.Context) (any, error) {
+		art, _, err := s.cache.Suite(spec)
+		if err != nil {
+			return nil, err
+		}
+		base, err := art.ATE()
+		if err != nil {
+			return nil, err
+		}
+		ate, err := base.CloneWithTolerance(req.Tolerance)
+		if err != nil {
+			return nil, err
+		}
+		model := spec.Model()
+		var mods func(i int) *snn.Modifiers
+		if req.Faulty {
+			kinds := []fault.Kind{spec.Kind}
+			if spec.KindAll {
+				kinds = fault.Kinds()
+			}
+			faults := tester.SampleFaults(spec.Arch, kinds, req.Sample, req.Seed+41)
+			if len(faults) == 0 {
+				return nil, badf("empty fault universe for %v", spec.Arch)
+			}
+			mods = func(i int) *snn.Modifiers { return faults[i%len(faults)].Modifiers(model.Values) }
+		}
+		vary := variation.None()
+		if req.VariationSigma > 0 {
+			vary = variation.OfTheta(req.VariationSigma, model.Params.Theta)
+		}
+		policy := tester.RetestPolicy{MaxRetests: req.MaxRetests, Vote: req.Vote}
+		stats, err := ate.MeasureSessionsContext(ctx, req.Chips, mods, prof, vary, policy, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sessionsJobResult{
+			SuiteKey:       art.Key,
+			Profile:        prof.String(),
+			Chips:          stats.Chips,
+			Pass:           stats.Pass,
+			Fail:           stats.Fail,
+			Quarantine:     stats.Quarantine,
+			PassRate:       stats.PassRate(),
+			FailRate:       stats.FailRate(),
+			QuarantineRate: stats.QuarantineRate(),
+			ItemsRun:       stats.ItemsRun,
+			BaselineItems:  stats.BaselineItems,
+			Retests:        stats.Retests,
+			DroppedReads:   stats.DroppedReads,
+			Amplification:  stats.Amplification(),
+			Errored:        len(stats.Errors),
+		}, nil
+	})
+}
+
+// submit enqueues a campaign body, answering 202 + job status, or 503 +
+// Retry-After under backpressure.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, run func(ctx context.Context) (any, error)) {
+	job, err := s.queue.Submit(kind, run)
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full (capacity %d) — retry later", s.queue.Capacity())
+		return
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job := s.queue.Get(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobStream streams the job's state transitions as NDJSON: one status
+// object per line, a new line on every transition, closing after the
+// terminal line (which carries the result). Clients get live campaign
+// progress with plain `curl -N`.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	job := s.queue.Get(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		st, changed := job.watch()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if JobStateFromString(st.State).Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.queue.Get(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	entries, bytes := s.cache.Stats()
+	snap["cache_entries"] = int64(entries)
+	snap["cache_bytes"] = bytes
+	snap["queue_depth"] = int64(s.queue.Depth())
+	snap["queue_capacity"] = int64(s.queue.Capacity())
+	snap["workers"] = int64(s.cfg.Workers)
+	for state, n := range s.queue.CountByState() {
+		snap["jobs_"+state] = int64(n)
+	}
+	snap["uptime_seconds"] = int64(time.Since(s.started).Seconds())
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// --- plumbing -------------------------------------------------------------
+
+// JobStateFromString parses a rendered state (inverse of JobState.String).
+func JobStateFromString(s string) JobState {
+	switch s {
+	case "running":
+		return JobRunning
+	case "done":
+		return JobDone
+	case "failed":
+		return JobFailed
+	case "cancelled":
+		return JobCancelled
+	default:
+		return JobQueued
+	}
+}
+
+// decode parses the request body, answering 400 on malformed JSON.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// fail maps an error to 400 (client) or 500 (server).
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var br *badRequest
+	if errors.As(err, &br) {
+		httpError(w, http.StatusBadRequest, "%s", br.msg)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

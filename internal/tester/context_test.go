@@ -1,0 +1,139 @@
+package tester
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"neurotest/internal/core"
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+	"neurotest/internal/unreliable"
+	"neurotest/internal/variation"
+)
+
+// suiteFor generates the merged no-variation suite for arch, shared by the
+// cancellation tests.
+func suiteFor(t *testing.T, arch snn.Arch) (*ATE, []fault.Fault, fault.Values) {
+	t.Helper()
+	params := snn.DefaultParams()
+	values := fault.PaperValues(params.Theta)
+	g, err := core.NewGenerator(core.Options{
+		Arch: arch, Params: params, Values: values,
+		Regime: core.NoVariation(), Timesteps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, merged := g.GenerateAll()
+	var universe []fault.Fault
+	for _, k := range fault.Kinds() {
+		universe = append(universe, fault.Universe(arch, k)...)
+	}
+	return New(merged, nil), universe, values
+}
+
+func TestMeasureCoverageContextBackgroundMatchesPlain(t *testing.T) {
+	ate, faults, values := suiteFor(t, snn.Arch{8, 6, 4})
+	plain := ate.MeasureCoverage(faults, values)
+	res, err := ate.MeasureCoverageContext(context.Background(), faults, values)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if res.Detected != plain.Detected || res.Total != plain.Total || len(res.Undetected) != len(plain.Undetected) {
+		t.Fatalf("context variant diverged: %v vs %v", res, plain)
+	}
+}
+
+func TestMeasureCoverageContextPreCancelled(t *testing.T) {
+	ate, faults, values := suiteFor(t, snn.Arch{8, 6, 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ate.MeasureCoverageContext(ctx, faults, values)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Total != len(faults) {
+		t.Fatalf("Total = %d, want %d", res.Total, len(faults))
+	}
+	if got := res.Detected + len(res.Undetected) + len(res.Errors); got != 0 {
+		t.Fatalf("pre-cancelled campaign evaluated %d faults, want 0", got)
+	}
+}
+
+func TestMeasureSessionsContextPreCancelled(t *testing.T) {
+	ate, _, _ := suiteFor(t, snn.Arch{8, 6, 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := ate.MeasureSessionsContext(ctx, 50, nil, unreliable.Reliable(), variation.None(), RetestPolicy{}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if stats.Chips != 0 {
+		t.Fatalf("pre-cancelled campaign ran %d chips, want 0", stats.Chips)
+	}
+}
+
+// TestMeasureSessionsContextMidCancel cancels from inside the campaign (the
+// mods callback fires per claimed chip) and asserts the pool drains early:
+// workers stop claiming chips, sessions in flight finish, and the partial
+// stats count only evaluated chips.
+func TestMeasureSessionsContextMidCancel(t *testing.T) {
+	ate, _, _ := suiteFor(t, snn.Arch{8, 6, 4})
+	const n = 5000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Int64
+	mods := func(i int) *snn.Modifiers {
+		if fired.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	}
+	stats, err := ate.MeasureSessionsContext(ctx, n, mods, unreliable.Reliable(), variation.None(), RetestPolicy{}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if stats.Chips == 0 || stats.Chips >= n {
+		t.Fatalf("cancelled campaign ran %d of %d chips, want a strict partial run", stats.Chips, n)
+	}
+	if stats.Pass != stats.Chips {
+		t.Fatalf("defect-free reliable chips must all pass: %+v", stats)
+	}
+}
+
+func TestMeasureSessionsContextBackgroundMatchesPlain(t *testing.T) {
+	ate, faults, _ := suiteFor(t, snn.Arch{8, 6, 4})
+	values := fault.PaperValues(snn.DefaultParams().Theta)
+	mods := func(i int) *snn.Modifiers { return faults[i%len(faults)].Modifiers(values) }
+	plain := ate.MeasureSessions(40, mods, unreliable.Reliable(), variation.None(), RetestPolicy{}, 7)
+	viaCtx, err := ate.MeasureSessionsContext(context.Background(), 40, mods, unreliable.Reliable(), variation.None(), RetestPolicy{}, 7)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !reflect.DeepEqual(plain, viaCtx) {
+		t.Fatalf("context variant diverged:\n%+v\n%+v", viaCtx, plain)
+	}
+}
+
+func TestCloneWithTolerance(t *testing.T) {
+	ate, _, _ := suiteFor(t, snn.Arch{8, 6, 4})
+	clone, err := ate.CloneWithTolerance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.tolerance != 2 {
+		t.Fatalf("clone tolerance = %d, want 2", clone.tolerance)
+	}
+	if ate.tolerance != 0 {
+		t.Fatalf("CloneWithTolerance mutated the original (tolerance %d)", ate.tolerance)
+	}
+	if clone.ts != ate.ts || len(clone.golden) != len(ate.golden) {
+		t.Fatal("clone must share the test set and golden responses")
+	}
+	if _, err := ate.CloneWithTolerance(-1); err == nil {
+		t.Fatal("negative tolerance must be rejected")
+	}
+}

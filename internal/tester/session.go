@@ -1,6 +1,7 @@
 package tester
 
 import (
+	"context"
 	"fmt"
 
 	"neurotest/internal/pattern"
@@ -310,9 +311,19 @@ func (s *SessionStats) merge(o SessionStats) {
 // of scheduling. Worker panics are recovered into SessionStats.Errors
 // instead of crashing the campaign.
 func (a *ATE) MeasureSessions(n int, mods func(i int) *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) SessionStats {
-	stats := SessionStats{Chips: n}
+	stats, _ := a.MeasureSessionsContext(context.Background(), n, mods, prof, vary, policy, seed)
+	return stats
+}
+
+// MeasureSessionsContext is MeasureSessions with cooperative cancellation:
+// workers stop claiming chips once ctx is cancelled (sessions already in
+// flight finish their chip). On cancellation it returns ctx.Err() together
+// with the partial stats, whose Chips counts only the sessions actually run
+// — so the rates stay meaningful over the evaluated population.
+func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int) *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) (SessionStats, error) {
+	var stats SessionStats
 	if n <= 0 {
-		return stats
+		return stats, ctx.Err()
 	}
 	perChip := func(i int, w int) (rep SessionReport, err error) {
 		defer func() {
@@ -326,7 +337,7 @@ func (a *ATE) MeasureSessions(n int, mods func(i int) *snn.Modifiers, prof unrel
 		}
 		return a.RunChipSession(m, prof, vary, policy, chipSeed(seed, i)), nil
 	}
-	results := runWorkers(n, func(i, w int) SessionStats {
+	results, done := runWorkersCtx(ctx, n, func(i, w int) SessionStats {
 		var local SessionStats
 		rep, err := perChip(i, w)
 		if err != nil {
@@ -336,8 +347,12 @@ func (a *ATE) MeasureSessions(n int, mods func(i int) *snn.Modifiers, prof unrel
 		}
 		return local
 	})
-	for _, r := range results {
+	for i, r := range results {
+		if !done[i] {
+			continue
+		}
+		stats.Chips++
 		stats.merge(r)
 	}
-	return stats
+	return stats, ctx.Err()
 }

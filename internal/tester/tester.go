@@ -7,6 +7,7 @@
 package tester
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,6 +52,20 @@ func (a *ATE) WithTolerance(n int) (*ATE, error) {
 	}
 	a.tolerance = n
 	return a, nil
+}
+
+// CloneWithTolerance returns a copy of the ATE with its own pass band,
+// sharing the (immutable) test set, configurations and golden responses.
+// Campaign methods never mutate the ATE, so one memoized ATE can serve
+// concurrent campaigns under different tolerances via cheap clones — the
+// access pattern of the neurotestd artifact cache.
+func (a *ATE) CloneWithTolerance(n int) (*ATE, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("tester: negative tolerance %d", n)
+	}
+	c := *a
+	c.tolerance = n
+	return &c, nil
 }
 
 // matches reports whether got passes against want under the ATE's
@@ -228,16 +243,28 @@ func (c CoverageResult) String() string {
 // into CoverageResult.Errors instead of crashing the process, and the
 // result is identical to the serial evaluation regardless of scheduling.
 func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) CoverageResult {
+	res, _ := a.MeasureCoverageContext(context.Background(), faults, values)
+	return res
+}
+
+// MeasureCoverageContext is MeasureCoverage with cooperative cancellation:
+// workers stop claiming faults once ctx is cancelled, and the incremental
+// engines abort their item scans between items. On cancellation it returns
+// ctx.Err() together with the partial result — Total still counts every
+// requested fault, but only faults evaluated before the cancellation appear
+// as Detected, Undetected or Errors.
+func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, values fault.Values) (CoverageResult, error) {
 	res := CoverageResult{Total: len(faults)}
 	if len(faults) == 0 {
-		return res
+		return res, ctx.Err()
 	}
 	engines := make([]*faultsim.Engine, poolWorkers(len(faults)))
 	type verdict struct {
-		detected bool
-		err      error
+		detected  bool
+		cancelled bool
+		err       error
 	}
-	verdicts := runWorkers(len(faults), func(i, w int) (v verdict) {
+	verdicts, done := runWorkersCtx(ctx, len(faults), func(i, w int) (v verdict) {
 		defer func() {
 			if p := recover(); p != nil {
 				f := faults[i]
@@ -249,11 +276,18 @@ func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) Coverag
 		if engines[w] == nil {
 			engines[w] = faultsim.New(a.ts, values, a.transform)
 		}
-		v.detected = engines[w].Detects(faults[i])
+		det, err := engines[w].DetectsContext(ctx, faults[i])
+		if err != nil {
+			v.cancelled = true
+			return v
+		}
+		v.detected = det
 		return v
 	})
 	for i, v := range verdicts {
 		switch {
+		case !done[i] || v.cancelled:
+			// Never evaluated (or aborted mid-scan) because of cancellation.
 		case v.err != nil:
 			res.Errors = append(res.Errors, v.err)
 		case v.detected:
@@ -262,7 +296,7 @@ func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) Coverag
 			res.Undetected = append(res.Undetected, faults[i])
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // MeasureOverkill simulates nChips good chips under weight variation and
@@ -374,7 +408,17 @@ func poolWorkers(n int) int {
 // is the pool slot running the evaluation: fn may keep per-slot scratch
 // state (each slot is a single goroutine).
 func runWorkers[T any](n int, fn func(i, w int) T) []T {
-	out := make([]T, n)
+	out, _ := runWorkersCtx(context.Background(), n, fn)
+	return out
+}
+
+// runWorkersCtx is runWorkers with cooperative cancellation: workers stop
+// claiming new indices once ctx is cancelled (evaluations already in flight
+// run to completion). done[i] reports whether fn ran for index i — with an
+// uncancelled context every index is done.
+func runWorkersCtx[T any](ctx context.Context, n int, fn func(i, w int) T) (out []T, done []bool) {
+	out = make([]T, n)
+	done = make([]bool, n)
 	workers := poolWorkers(n)
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -382,17 +426,18 @@ func runWorkers[T any](n int, fn func(i, w int) T) []T {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
 				out[i] = fn(i, w)
+				done[i] = true
 			}
 		}(w)
 	}
 	wg.Wait()
-	return out
+	return out, done
 }
 
 // SampleFaults returns a deterministic stratified sample of up to max faults
