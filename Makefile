@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt build vet test race bench serve
+.PHONY: check fmt build vet neurolint test race fuzz bench serve
 
 # check is the tier-1 gate: everything CI runs, runnable locally.
-check: fmt vet build test race
+check: fmt vet build neurolint test race
 
 # fmt fails (listing the offenders) when any file is not gofmt-clean.
 fmt:
@@ -15,13 +15,31 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
+# neurolint runs the project's own static-analysis suite (internal/lint,
+# DESIGN.md §10): exhaustive fault-model switches, determinism of
+# artifact-producing paths, explicit float comparison semantics, panic-free
+# libraries and supervised concurrency. Non-zero exit on any un-suppressed
+# finding.
+neurolint:
+	$(GO) run ./cmd/neurolint ./...
 
-# The session layer, the reliability models and the daemon are the
-# concurrency-heavy packages; run them under the race detector explicitly.
+# -shuffle=on randomizes test order so inter-test coupling cannot hide.
+test:
+	$(GO) test -shuffle=on ./...
+
+# The whole module runs under the race detector; campaign pools, the
+# reliability models and the daemon are the heavy users, but nothing is
+# exempt.
 race:
-	$(GO) test -race ./internal/tester/... ./internal/unreliable/... ./internal/service/...
+	$(GO) test -race ./...
+
+# fuzz smokes the codec and service fuzz targets for a few seconds each —
+# not a soak, just enough to catch regressions in the corners the corpus
+# already maps.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzServedSuites -fuzztime=10s ./internal/pattern
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/pattern
+	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=10s ./internal/pattern
 
 bench:
 	$(GO) test -bench=. -benchmem

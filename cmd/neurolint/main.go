@@ -1,0 +1,122 @@
+// Command neurolint runs the project's static-analysis suite (see
+// internal/lint and DESIGN.md §10) over module packages.
+//
+// Usage:
+//
+//	neurolint [-checks list] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// code is 0 when the tree is clean, 1 when any un-suppressed finding is
+// reported, and 2 on usage or load errors — so `neurolint ./...` gates
+// `make check` and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"neurotest/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("neurolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: neurolint [-checks list] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-24s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		selected, err := selectChecks(analyzers, *checks)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	runner := &lint.Runner{Analyzers: analyzers}
+	found := false
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, f := range runner.Package(pkg) {
+			found = true
+			fmt.Fprintln(stdout, relativize(f))
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// selectChecks filters analyzers by a comma-separated name list.
+func selectChecks(all []*lint.Analyzer, list string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("neurolint: unknown check %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relativize renders a finding with a working-directory-relative path, the
+// form editors and CI annotations link.
+func relativize(f lint.Finding) string {
+	s := f.String()
+	wd, err := os.Getwd()
+	if err != nil {
+		return s
+	}
+	rel, err := filepath.Rel(wd, f.Pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return s
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -549,7 +550,7 @@ func cmdServe(args []string) error {
 	if err := cfg.Validate(); err != nil {
 		return asUsage(err)
 	}
-	return service.ListenAndServe(cfg, os.Stdout)
+	return service.ListenAndServe(context.Background(), cfg, os.Stdout)
 }
 
 func cmdTrace(args []string) error {

@@ -26,7 +26,10 @@ func main() {
 	params := model.Params
 
 	// 1. The application: a 4-class prototype classification task.
-	ds := apptest.Synthetic(48, 4, 40, 0.4, 0.05, 11)
+	ds, err := apptest.Synthetic(48, 4, 40, 0.4, 0.05, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 	train, test := ds.Split(0.7, 12)
 	cl, err := apptest.Train(train, apptest.TrainOptions{
 		Arch:   model.Arch,

@@ -48,12 +48,15 @@ func main() {
 	// 3. Verify the program against the hardware model: program each
 	// configuration into the crossbar chip (8-bit weight memory with
 	// per-channel scales) and check the golden outputs survive the memory.
-	hw := chip.New(chip.Config{
+	hw, err := chip.New(chip.Config{
 		Arch:       model.Arch,
 		Params:     model.Params,
 		Core:       chip.CoreShape{Axons: 64, Neurons: 64},
 		WeightBits: 8,
 	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("hardware model: %d crossbar cores of 64x64\n", hw.NumCores())
 	ate := tester.New(program, nil)
 	for i, it := range program.Items {

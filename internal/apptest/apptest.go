@@ -24,6 +24,7 @@ import (
 	"math/bits"
 
 	"neurotest/internal/fault"
+	"neurotest/internal/margin"
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
 )
@@ -46,9 +47,9 @@ type Dataset struct {
 // sample is its class prototype with independent bit flips. This is the
 // standard stand-in for the "edge vision" workloads the paper's
 // introduction motivates.
-func Synthetic(inputs, classes, perClass int, density, flip float64, seed uint64) *Dataset {
+func Synthetic(inputs, classes, perClass int, density, flip float64, seed uint64) (*Dataset, error) {
 	if inputs <= 0 || classes <= 0 || perClass <= 0 {
-		panic(fmt.Sprintf("apptest: bad dataset shape %d/%d/%d", inputs, classes, perClass))
+		return nil, fmt.Errorf("apptest: bad dataset shape %d/%d/%d", inputs, classes, perClass)
 	}
 	rng := stats.NewRNG(seed)
 	protos := make([]snn.Pattern, classes)
@@ -71,7 +72,7 @@ func Synthetic(inputs, classes, perClass int, density, flip float64, seed uint64
 			ds.Samples = append(ds.Samples, Sample{Input: p, Label: c})
 		}
 	}
-	return ds
+	return ds, nil
 }
 
 // Split partitions the dataset deterministically into train and test sets
@@ -135,7 +136,7 @@ func Train(ds *Dataset, opt TrainOptions) (*Classifier, error) {
 	if opt.Epochs == 0 {
 		opt.Epochs = 12
 	}
-	if opt.LearningRate == 0 {
+	if margin.IsZero(opt.LearningRate) {
 		opt.LearningRate = 0.05
 	}
 	rng := stats.NewRNG(opt.Seed)
@@ -176,7 +177,7 @@ func Train(ds *Dataset, opt TrainOptions) (*Classifier, error) {
 			// Delta rule on the output boundary, clamped to the
 			// programmable range.
 			for j := 0; j < nHidden; j++ {
-				if h[j] == 0 {
+				if margin.IsZero(h[j]) {
 					continue
 				}
 				d := opt.LearningRate * h[j]

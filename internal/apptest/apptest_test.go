@@ -10,7 +10,10 @@ import (
 
 func trainedClassifier(t *testing.T) (*Classifier, *Dataset, *Dataset) {
 	t.Helper()
-	ds := Synthetic(24, 3, 30, 0.4, 0.05, 7)
+	ds, err := Synthetic(24, 3, 30, 0.4, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	train, test := ds.Split(0.7, 8)
 	cl, err := Train(train, TrainOptions{
 		Arch:   snn.Arch{24, 16, 3},
@@ -24,7 +27,10 @@ func trainedClassifier(t *testing.T) (*Classifier, *Dataset, *Dataset) {
 }
 
 func TestSyntheticDatasetShape(t *testing.T) {
-	ds := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	ds, err := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ds.Inputs != 10 || ds.Classes != 4 || len(ds.Samples) != 20 {
 		t.Fatalf("shape: %+v", ds)
 	}
@@ -41,7 +47,10 @@ func TestSyntheticDatasetShape(t *testing.T) {
 		}
 	}
 	// Determinism.
-	ds2 := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	ds2, err := Synthetic(10, 4, 5, 0.5, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range ds.Samples {
 		for j := range ds.Samples[i].Input {
 			if ds.Samples[i].Input[j] != ds2.Samples[i].Input[j] {
@@ -52,7 +61,10 @@ func TestSyntheticDatasetShape(t *testing.T) {
 }
 
 func TestSplit(t *testing.T) {
-	ds := Synthetic(8, 2, 20, 0.5, 0.1, 2)
+	ds, err := Synthetic(8, 2, 20, 0.5, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	train, test := ds.Split(0.75, 3)
 	if len(train.Samples) != 30 || len(test.Samples) != 10 {
 		t.Fatalf("split sizes %d/%d", len(train.Samples), len(test.Samples))
@@ -74,7 +86,10 @@ func TestTrainingLearnsAboveChance(t *testing.T) {
 }
 
 func TestTrainRejectsBadShapes(t *testing.T) {
-	ds := Synthetic(8, 2, 4, 0.5, 0.1, 1)
+	ds, err := Synthetic(8, 2, 4, 0.5, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Train(ds, TrainOptions{Arch: snn.Arch{9, 4, 2}, Params: snn.DefaultParams()}); err == nil {
 		t.Errorf("input mismatch accepted")
 	}
@@ -133,11 +148,8 @@ func TestPredictMatchesAccuracyPath(t *testing.T) {
 	}
 }
 
-func TestSyntheticPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("expected panic")
-		}
-	}()
-	Synthetic(0, 2, 3, 0.5, 0.1, 1)
+func TestSyntheticRejectsBadShape(t *testing.T) {
+	if _, err := Synthetic(0, 2, 3, 0.5, 0.1, 1); err == nil {
+		t.Errorf("expected an error for a zero-input dataset")
+	}
 }

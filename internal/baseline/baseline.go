@@ -32,6 +32,7 @@ import (
 
 	"neurotest/internal/fault"
 	"neurotest/internal/faultsim"
+	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
@@ -73,7 +74,7 @@ func (o *Options) setDefaults() {
 	if o.PatternsPerConfig == 0 {
 		o.PatternsPerConfig = 160
 	}
-	if o.Density == 0 {
+	if margin.IsZero(o.Density) {
 		o.Density = 0.25
 	}
 	if o.FaultSample == 0 {
@@ -82,7 +83,7 @@ func (o *Options) setDefaults() {
 	if o.Timesteps == 0 {
 		o.Timesteps = 4
 	}
-	if o.Confidence == 0 {
+	if margin.IsZero(o.Confidence) {
 		o.Confidence = 2.5
 	}
 }

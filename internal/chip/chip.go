@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"neurotest/internal/margin"
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
 	"neurotest/internal/variation"
@@ -71,20 +72,21 @@ type Chip struct {
 	rng        *stats.RNG
 }
 
-// New builds a chip. It panics on invalid geometry or precision — these are
-// construction-time errors in test harnesses, not runtime conditions.
-func New(cfg Config, seed uint64) *Chip {
+// New builds a chip, rejecting invalid geometry or weight-memory precision
+// with an error (configurations come in from CLI flags and service
+// requests, so validation failures are runtime conditions, not bugs).
+func New(cfg Config, seed uint64) (*Chip, error) {
 	if err := cfg.Arch.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := cfg.Params.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if cfg.Core.Axons <= 0 || cfg.Core.Neurons <= 0 {
-		panic(fmt.Sprintf("chip: invalid core shape %+v", cfg.Core))
+		return nil, fmt.Errorf("chip: invalid core shape %+v", cfg.Core)
 	}
 	if cfg.WeightBits < 2 || cfg.WeightBits > 16 {
-		panic(fmt.Sprintf("chip: weight memory width %d out of [2,16]", cfg.WeightBits))
+		return nil, fmt.Errorf("chip: weight memory width %d out of [2,16]", cfg.WeightBits)
 	}
 	c := &Chip{cfg: cfg, rng: stats.NewRNG(seed)}
 	for b := 0; b < cfg.Arch.Boundaries(); b++ {
@@ -106,7 +108,7 @@ func New(cfg Config, seed uint64) *Chip {
 			}
 		}
 	}
-	return c
+	return c, nil
 }
 
 // NumCores returns how many crossbar cores the chip instantiates.
@@ -164,7 +166,7 @@ func (c *Chip) Program(net *snn.Network) error {
 					maxAbs = a
 				}
 			}
-			if maxAbs == 0 {
+			if margin.IsZero(maxAbs) {
 				core.scales[n] = 0
 			} else {
 				core.scales[n] = maxAbs / half

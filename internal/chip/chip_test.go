@@ -20,7 +20,7 @@ func testConfig() Config {
 }
 
 func TestCoreTiling(t *testing.T) {
-	c := New(testConfig(), 1)
+	c := mustNew(t, testConfig(), 1)
 	// Boundary 0: 576x256 → 3x1 cores of 256x256. Boundary 1: 256x32 → 1.
 	// Boundary 2: 32x10 → 1. Total 5.
 	if got := c.NumCores(); got != 5 {
@@ -41,7 +41,7 @@ func TestCoreTiling(t *testing.T) {
 func TestCoreTilingPartial(t *testing.T) {
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{300, 300, 5}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	// 300x300 → 2x2 cores (256+44 each way); 300x5 → 2x1.
 	if got := len(c.Cores(0)); got != 4 {
 		t.Errorf("boundary 0 cores = %d, want 4", got)
@@ -61,7 +61,7 @@ func TestProgramReadbackIdealLevels(t *testing.T) {
 	// program/readback exactly (per-channel scale calibration).
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{4, 3, 2}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.SetColumn(0, 0, 10)
 	net.SetColumn(0, 1, -10)
@@ -84,7 +84,7 @@ func TestProgramReadbackIdealLevels(t *testing.T) {
 }
 
 func TestProgramArchMismatch(t *testing.T) {
-	c := New(testConfig(), 1)
+	c := mustNew(t, testConfig(), 1)
 	net := snn.New(snn.Arch{3, 2}, snn.DefaultParams())
 	if err := c.Program(net); err == nil {
 		t.Errorf("foreign architecture accepted")
@@ -92,7 +92,7 @@ func TestProgramArchMismatch(t *testing.T) {
 }
 
 func TestUnprogrammedChip(t *testing.T) {
-	c := New(testConfig(), 1)
+	c := mustNew(t, testConfig(), 1)
 	if c.Programmed() {
 		t.Errorf("fresh chip claims programmed")
 	}
@@ -110,7 +110,7 @@ func TestQuantizationGranularityIsPerChannel(t *testing.T) {
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{2, 2}
 	cfg.WeightBits = 4
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.SetEntry(0, 0, 0, 0.275)
 	net.SetEntry(0, 1, 1, -10)
@@ -130,7 +130,7 @@ func TestProgramWithVariation(t *testing.T) {
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{50, 50}
 	cfg.Variation = variation.Model{Sigma: 0.1}
-	c := New(cfg, 77)
+	c := mustNew(t, cfg, 77)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.Fill(5)
 	if err := c.Program(net); err != nil {
@@ -170,7 +170,7 @@ func TestVariationClampsToPhysicalRange(t *testing.T) {
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{50, 50}
 	cfg.Variation = variation.Model{Sigma: 2}
-	c := New(cfg, 3)
+	c := mustNew(t, cfg, 3)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.Fill(10)
 	if err := c.Program(net); err != nil {
@@ -187,7 +187,7 @@ func TestVariationClampsToPhysicalRange(t *testing.T) {
 func TestApplyEndToEnd(t *testing.T) {
 	cfg := testConfig()
 	cfg.Arch = snn.Arch{2, 2, 1}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.SetEntry(0, 0, 0, 1)
 	net.SetEntry(1, 0, 0, 1)
@@ -213,16 +213,17 @@ func TestApplyEndToEnd(t *testing.T) {
 	}
 }
 
-func TestNewPanics(t *testing.T) {
-	assertPanics(t, "bad arch", func() {
-		New(Config{Arch: snn.Arch{1}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 8}, 1)
-	})
-	assertPanics(t, "bad core", func() {
-		New(Config{Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: CoreShape{}, WeightBits: 8}, 1)
-	})
-	assertPanics(t, "bad bits", func() {
-		New(Config{Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 1}, 1)
-	})
+func TestNewRejects(t *testing.T) {
+	cases := map[string]Config{
+		"bad arch": {Arch: snn.Arch{1}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 8},
+		"bad core": {Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: CoreShape{}, WeightBits: 8},
+		"bad bits": {Arch: snn.Arch{2, 2}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 1},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg, 1); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
 }
 
 func TestReadbackMatchesQuantizerQuick(t *testing.T) {
@@ -231,7 +232,7 @@ func TestReadbackMatchesQuantizerQuick(t *testing.T) {
 	f := func(seed uint64) bool {
 		cfg := testConfig()
 		cfg.Arch = snn.Arch{6, 5}
-		c := New(cfg, 1)
+		c := mustNew(t, cfg, 1)
 		net := snn.New(cfg.Arch, cfg.Params)
 		rng := stats.NewRNG(seed)
 		for b := range net.W {
@@ -268,12 +269,11 @@ func TestReadbackMatchesQuantizerQuick(t *testing.T) {
 	}
 }
 
-func assertPanics(t *testing.T, name string, f func()) {
+func mustNew(t *testing.T, cfg Config, seed uint64) *Chip {
 	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Errorf("%s: expected panic", name)
-		}
-	}()
-	f()
+	c, err := New(cfg, seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
 }

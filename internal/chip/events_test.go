@@ -24,7 +24,7 @@ func TestEventDrivenMatchesDenseSimulator(t *testing.T) {
 			Core:       CoreShape{Axons: 4, Neurons: 4}, // force multi-core tiling
 			WeightBits: 8,
 		}
-		c := New(cfg, 1)
+		c := mustNew(t, cfg, 1)
 		net := snn.New(cfg.Arch, params)
 		rng := stats.NewRNG(seed)
 		for b := range net.W {
@@ -61,7 +61,7 @@ func TestEventDrivenStats(t *testing.T) {
 		Core:       CoreShape{Axons: 2, Neurons: 2},
 		WeightBits: 8,
 	}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.Fill(10)
 	if err := c.Program(net); err != nil {
@@ -108,7 +108,7 @@ func TestEventDrivenStats(t *testing.T) {
 
 func TestEventDrivenErrors(t *testing.T) {
 	cfg := Config{Arch: snn.Arch{3, 2}, Params: snn.DefaultParams(), Core: DefaultCoreShape(), WeightBits: 8}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	if _, _, err := c.RunEventDriven(snn.NewPattern(3), 2); err == nil {
 		t.Errorf("unprogrammed chip ran")
 	}
@@ -136,7 +136,7 @@ func TestEventTrafficSaturatesUnderAlwaysSpikeConfig(t *testing.T) {
 		Core:       CoreShape{Axons: 4, Neurons: 4},
 		WeightBits: 8,
 	}
-	c := New(cfg, 1)
+	c := mustNew(t, cfg, 1)
 	net := snn.New(cfg.Arch, cfg.Params)
 	net.Fill(cfg.Params.WMax)
 	if err := c.Program(net); err != nil {

@@ -374,6 +374,7 @@ func pickAncillaries(n int, targets []int, count int) []int {
 		}
 	}
 	if len(out) < count {
+		//lint:ignore no-panic unreachable by construction: Options validation bounds targets per layer
 		panic(fmt.Sprintf("core: layer of width %d cannot supply %d ancillaries beside %d targets", n, count, len(targets)))
 	}
 	return out

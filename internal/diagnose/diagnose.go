@@ -35,6 +35,7 @@ func NewSignature(n int) Signature {
 // SetFail marks item i as failing.
 func (s *Signature) SetFail(i int) {
 	if i < 0 || i >= s.n {
+		//lint:ignore no-panic mirrors built-in slice indexing semantics for an out-of-range item
 		panic(fmt.Sprintf("diagnose: item %d out of %d", i, s.n))
 	}
 	s.words[i/64] |= 1 << uint(i%64)

@@ -257,6 +257,7 @@ func (r *Runner) Suite(arch snn.Arch, m Method, kind fault.Kind, variationAware 
 		ts, err = baseline.Generate("compression", kind, opt)
 	}
 	if err != nil {
+		//lint:ignore no-panic the experiment harness aborts loudly; its inputs are compile-time constants
 		panic(fmt.Sprintf("experiments: generating %v/%v/%v: %v", arch, m, kind, err))
 	}
 	r.progress("generated %v %v %v: %d configs, %d patterns",
@@ -317,6 +318,7 @@ func maxInt(a, b int) int {
 func eightBit() quant.Scheme {
 	s, err := quant.NewScheme(8, quant.PerChannel)
 	if err != nil {
+		//lint:ignore no-panic 8/PerChannel is a compile-time-constant valid scheme
 		panic(err)
 	}
 	return s
@@ -328,6 +330,7 @@ func eightBit() quant.Scheme {
 func withTolerance(a *tester.ATE, tol int) *tester.ATE {
 	a, err := a.WithTolerance(tol)
 	if err != nil {
+		//lint:ignore no-panic the harness only passes the always-valid tolerances 0 and 1
 		panic(err)
 	}
 	return a

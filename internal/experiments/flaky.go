@@ -63,9 +63,11 @@ func (r *Runner) FlakySweep(arch snn.Arch, readout unreliable.Readout, vote bool
 			faulty := ate.MeasureSessions(len(faults), mods, prof, variation.None(), policy, base+1)
 			good := ate.MeasureSessions(r.cfg.GoodChips, nil, prof, variation.None(), policy, base+2)
 			if len(faulty.Errors) > 0 {
+				//lint:ignore no-panic the experiment harness aborts loudly; a campaign error here is a harness bug
 				panic(fmt.Sprintf("experiments: flaky faulty campaign: %v", faulty.Errors[0]))
 			}
 			if len(good.Errors) > 0 {
+				//lint:ignore no-panic the experiment harness aborts loudly; a campaign error here is a harness bug
 				panic(fmt.Sprintf("experiments: flaky good campaign: %v", good.Errors[0]))
 			}
 			pt := FlakyPoint{

@@ -27,6 +27,7 @@ func (r *Runner) Table3() *report.Table {
 				Arch: arch, Params: r.params, Values: r.values, Regime: regime,
 			})
 			if err != nil {
+				//lint:ignore no-panic table architectures are compile-time constants the generator accepts
 				panic(err)
 			}
 			label := "no"

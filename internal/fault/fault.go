@@ -112,6 +112,7 @@ type Fault struct {
 // neuron fault model.
 func NewNeuronFault(kind Kind, id snn.NeuronID) Fault {
 	if !kind.IsNeuronFault() {
+		//lint:ignore no-panic constructor misuse is a programmer error; Universe and the generators only pass matching kinds
 		panic(fmt.Sprintf("fault: %v is not a neuron fault model", kind))
 	}
 	return Fault{Kind: kind, Neuron: id}
@@ -121,6 +122,7 @@ func NewNeuronFault(kind Kind, id snn.NeuronID) Fault {
 // synapse fault model.
 func NewSynapseFault(kind Kind, id snn.SynapseID) Fault {
 	if !kind.IsSynapseFault() {
+		//lint:ignore no-panic constructor misuse is a programmer error; Universe and the generators only pass matching kinds
 		panic(fmt.Sprintf("fault: %v is not a synapse fault model", kind))
 	}
 	return Fault{Kind: kind, Synapse: id}

@@ -24,6 +24,7 @@ import (
 	"math/bits"
 
 	"neurotest/internal/fault"
+	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 )
@@ -185,7 +186,7 @@ func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
 		layer, index = f.Synapse.Boundary+1, f.Synapse.Post
 		w := ic.net.Entry(f.Synapse.Boundary, f.Synapse.Pre, f.Synapse.Post)
 		dw := e.values.SWFOmega - w
-		if dw == 0 {
+		if margin.IsZero(dw) {
 			return false // stuck at its programmed value: no behavioural change
 		}
 		preTrain := ic.trace.X[f.Synapse.Boundary][f.Synapse.Pre]
@@ -200,7 +201,7 @@ func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
 	case fault.SASF:
 		layer, index = f.Synapse.Boundary+1, f.Synapse.Post
 		w := ic.net.Entry(f.Synapse.Boundary, f.Synapse.Pre, f.Synapse.Post)
-		if w == 0 {
+		if margin.IsZero(w) {
 			return false // an always-spiking zero-weight synapse is invisible
 		}
 		preTrain := ic.trace.X[f.Synapse.Boundary][f.Synapse.Pre]

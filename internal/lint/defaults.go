@@ -1,0 +1,65 @@
+package lint
+
+// Production configuration of the analyzer suite. cmd/neurolint and the
+// CI gate run exactly this set; DESIGN.md §10 documents the rationale for
+// each scope decision.
+
+// DeterministicPaths are the packages whose output feeds the SHA-256
+// artifact keys of the content-addressed cache: the suite generator and its
+// building blocks, the codec, the compaction/scheduling rewrites, the
+// report and waveform encoders, and the service layer that hashes and
+// serves the artifacts.
+func DeterministicPaths() []string {
+	return []string{
+		"neurotest",
+		"neurotest/internal/baseline",
+		"neurotest/internal/compact",
+		"neurotest/internal/core",
+		"neurotest/internal/pattern",
+		"neurotest/internal/report",
+		"neurotest/internal/schedule",
+		"neurotest/internal/service",
+		"neurotest/internal/vcd",
+	}
+}
+
+// FloatHelperPaths are the packages whose exported helpers define the
+// repository's floating-point comparison semantics; direct ==/!= is the
+// point there, and forbidden everywhere else.
+func FloatHelperPaths() []string {
+	return []string{"neurotest/internal/margin"}
+}
+
+// GoroutineConfig scopes the ctx-goroutine check to the concurrency-heavy
+// packages and names their sanctioned pool helpers.
+func GoroutineConfig() CtxGoroutineConfig {
+	return CtxGoroutineConfig{
+		SpawnSites: map[string][]string{
+			// runWorkersCtx is the single bounded, recover()-disciplined
+			// pool behind every tester campaign.
+			"neurotest/internal/tester": {"runWorkersCtx"},
+			// NewQueue starts the daemon's worker pool (panics become
+			// failed jobs); supervised wraps fire-and-forget goroutines
+			// with a recover barrier.
+			"neurotest/internal/service": {"NewQueue", "supervised"},
+			// The simulation engine must stay sequential per campaign:
+			// parallelism belongs to the pools above.
+			"neurotest/internal/faultsim": {},
+		},
+		CtxRequired: map[string][]string{
+			"neurotest/internal/tester":  {"runWorkersCtx", "runWorkers"},
+			"neurotest/internal/service": {"supervised"},
+		},
+	}
+}
+
+// DefaultAnalyzers returns the five project invariants at production scope.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewExhaustiveFaultSwitch("neurotest/internal/fault", "Kind"),
+		NewDeterminism(DeterministicPaths()...),
+		NewFloatEq(FloatHelperPaths()...),
+		NewNoPanic(),
+		NewCtxGoroutine(GoroutineConfig()),
+	}
+}

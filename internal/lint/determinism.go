@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewDeterminism builds the determinism check over the given import paths —
+// the packages on the cache-key, suite-generation and report-encoding
+// paths. Everything those packages emit feeds (directly or transitively)
+// the SHA-256 content addresses of the artifact cache, so their output must
+// be a pure function of their inputs. Three sources of hidden
+// nondeterminism are forbidden there:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until),
+//   - the math/rand packages (the repository's seeded stats.RNG is the only
+//     sanctioned randomness), flagged at the import, and
+//   - ranging over a map, whose iteration order is deliberately randomized
+//     by the runtime; iterate a sorted key slice instead.
+func NewDeterminism(pkgPaths ...string) *Analyzer {
+	paths := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		paths[p] = true
+	}
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "no wall-clock, global math/rand or map-order dependence on artifact-producing paths",
+	}
+	a.Run = func(pass *Pass) {
+		if !paths[pass.Path] {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				switch importString(imp) {
+				case "math/rand", "math/rand/v2":
+					pass.Reportf(imp.Pos(), "import of %s on a deterministic path; use the seeded stats.RNG", importString(imp))
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if fn := usedFunc(pass, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+						switch fn.Name() {
+						case "Now", "Since", "Until":
+							pass.Reportf(n.Pos(), "time.%s on a deterministic path: artifact bytes must be a pure function of the spec", fn.Name())
+						}
+					}
+				case *ast.RangeStmt:
+					if t := pass.Info.Types[n.X].Type; t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							pass.Reportf(n.Range, "map iteration order is nondeterministic; range over sorted keys so emitted bytes are reproducible")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// importString returns the unquoted import path of a spec.
+func importString(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// usedFunc resolves an identifier to the *types.Func it uses, or nil.
+func usedFunc(pass *Pass, id *ast.Ident) *types.Func {
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewExhaustiveFaultSwitch builds the exhaustive-fault-switch check for the
+// enum named typeName in package enumPath (the five-model fault.Kind by
+// default, see DefaultAnalyzers).
+//
+// Every switch whose tag has that enum type must either list every exported
+// constant of the type among its cases, or carry a default clause that
+// fails loudly (panics or returns a non-nil error). A silent gap in a
+// fault-model switch is exactly the failure mode that corrupts coverage
+// numbers without failing any test: a sixth model added to the enum would
+// quietly fall through in generation or simulation while the coverage
+// report still claims 100 %.
+func NewExhaustiveFaultSwitch(enumPath, typeName string) *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustive-fault-switch",
+		Doc:  fmt.Sprintf("switches over %s.%s must cover every model or fail loudly in default", enumPath, typeName),
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				named := namedType(pass.Info.Types[sw.Tag].Type)
+				if named == nil || !isEnum(named, enumPath, typeName) {
+					return true
+				}
+				checkEnumSwitch(pass, sw, named)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// namedType unwraps a type to its *types.Named form, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		t = types.Unalias(alias)
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isEnum reports whether named is the configured enum type.
+func isEnum(named *types.Named, enumPath, typeName string) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == enumPath && obj.Name() == typeName
+}
+
+// enumConstants returns the exported package-level constants of the enum,
+// in declaration order. Unexported sentinels (numKinds-style bounds) are
+// not part of the model set and are excluded.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkEnumSwitch verifies one switch statement over the enum.
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named) {
+	consts := enumConstants(named)
+	covered := make(map[string]bool, len(consts))
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		for _, expr := range clause.List {
+			tv := pass.Info.Types[expr]
+			if tv.Value == nil {
+				continue // non-constant case expression: cannot be audited
+			}
+			for _, c := range consts {
+				if constant.Compare(tv.Value, token.EQL, c.Val()) {
+					covered[c.Name()] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && failsLoudly(pass, defaultClause) {
+		return
+	}
+	typeLabel := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	if defaultClause == nil {
+		pass.Reportf(sw.Switch, "switch over %s misses %s and has no default; cover every model or add a default that fails loudly",
+			typeLabel, strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(sw.Switch, "switch over %s misses %s and its default does not fail loudly (panic or return a non-nil error)",
+		typeLabel, strings.Join(missing, ", "))
+}
+
+// failsLoudly reports whether a default clause panics or returns a non-nil
+// error — the two accepted ways for a fault-model switch to reject a value
+// outside the modeled set.
+func failsLoudly(pass *Pass, clause *ast.CaseClause) bool {
+	for _, stmt := range clause.Body {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isBuiltinPanic(pass, call) {
+				return true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if isNonNilError(pass, res) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isBuiltinPanic reports whether call invokes the predeclared panic.
+func isBuiltinPanic(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isNonNilError reports whether expr has error type and is not the untyped
+// nil constant.
+func isNonNilError(pass *Pass, expr ast.Expr) bool {
+	tv := pass.Info.Types[expr]
+	if tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}

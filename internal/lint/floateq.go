@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatEq builds the float-eq check. Direct == / != between
+// floating-point operands silently conflates "numerically equal" with
+// "bit-identical" — the distinction at the heart of the tolerance pass-band
+// semantics (a readout within tolerance is a pass, outside is a fail, and
+// the boundary must be chosen, not inherited from IEEE 754 rounding).
+//
+// Comparisons are allowed inside the packages listed in allowedPaths (the
+// margin/tolerance helpers' home, where the comparison semantics are the
+// API), and between compile-time constants (folded deterministically).
+// Intentional bit-exact comparisons elsewhere go through margin.ExactEq,
+// which exists precisely to make that intent greppable.
+func NewFloatEq(allowedPaths ...string) *Analyzer {
+	allowed := make(map[string]bool, len(allowedPaths))
+	for _, p := range allowedPaths {
+		allowed[p] = true
+	}
+	a := &Analyzer{
+		Name: "float-eq",
+		Doc:  "no direct ==/!= on floating-point operands outside the tolerance/margin helpers",
+	}
+	a.Run = func(pass *Pass) {
+		if allowed[pass.Path] {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				x, y := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+				if !isFloat(x.Type) && !isFloat(y.Type) {
+					return true
+				}
+				if x.Value != nil && y.Value != nil {
+					return true // constant-folded: no runtime rounding involved
+				}
+				pass.Reportf(bin.OpPos, "floating-point %s: compare through the margin helpers (margin.ExactEq for intentional bit-exact checks)", bin.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (including the untyped float constant kind).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

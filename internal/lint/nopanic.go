@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewNoPanic builds the no-panic check: library packages (everything that
+// is not a package main) must surface failures as errors, locking in the
+// panics→errors migration started in the retest-policy PR. A panicking
+// library turns a single malformed request into a daemon crash — the
+// service layer's availability depends on this invariant.
+//
+// One shape is exempt without a directive: a panic inside the default
+// clause of a switch statement. That is the "fail loudly on an impossible
+// value" idiom the exhaustive-fault-switch check demands, asserting
+// unreachability rather than handling runtime input. Everything else needs
+// either an error return or a //lint:ignore no-panic directive whose
+// reason documents why the site is a programmer-error assertion.
+func NewNoPanic() *Analyzer {
+	a := &Analyzer{
+		Name: "no-panic",
+		Doc:  "library packages must return errors; panic is reserved for unreachable switch defaults",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+			return
+		}
+		for _, f := range pass.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true // a local function shadowing the builtin
+				}
+				if inSwitchDefault(stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic in library package %s: return an error (or document the invariant with //lint:ignore no-panic <reason>)", pass.Path)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// inSwitchDefault reports whether the node whose ancestor stack is given
+// sits inside the default clause of a switch statement.
+func inSwitchDefault(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		clause, ok := stack[i].(*ast.CaseClause)
+		if !ok || clause.List != nil {
+			continue
+		}
+		// A CaseClause belongs to either a switch or a type switch; both
+		// express "no modeled value matched" in their default clause.
+		switch stack[i-1].(type) {
+		case *ast.BlockStmt:
+			if i >= 2 {
+				switch stack[i-2].(type) {
+				case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// inspectWithStack walks the AST like ast.Inspect while maintaining the
+// ancestor stack of the visited node (stack excludes the node itself).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

@@ -1,0 +1,59 @@
+// Package determ is a fixture for the determinism check; the test
+// configures its import path as a deterministic (artifact-producing) path.
+package determ
+
+import (
+	"math/rand" // want "import of math/rand on a deterministic path"
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// Stamp reads the wall clock on a deterministic path.
+func Stamp() int64 {
+	t := time.Now() // want "time\.Now on a deterministic path"
+	return t.Unix()
+}
+
+// Age derives a duration from the wall clock.
+func Age(since time.Time) float64 {
+	return time.Since(since).Seconds() // want "time\.Since on a deterministic path"
+}
+
+// EncodeMap ranges over a map while emitting bytes.
+func EncodeMap(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+// EncodeSorted ranges over a sorted key slice: the sanctioned shape. The
+// key-collection range itself carries the directive, as in production code,
+// because order cannot leak once the keys are sorted before use.
+func EncodeSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:ignore determinism keys are sorted before any order-dependent use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SuppressedClock documents why its wall-clock read is exempt.
+func SuppressedClock() int64 {
+	//lint:ignore determinism fixture: diagnostics-only timestamp
+	return time.Now().Unix()
+}
+
+// PureTime manipulates time values without reading the clock: in scope but
+// clean (time.Unix is a constructor, not a clock read).
+func PureTime(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}

@@ -1,0 +1,18 @@
+// Package determoff is a fixture proving the determinism check stays
+// scoped: this package is NOT configured as a deterministic path, so its
+// wall-clock reads and map ranges are legal.
+package determoff
+
+import "time"
+
+// Stamp is fine here: diagnostics code off the artifact path.
+func Stamp() int64 { return time.Now().Unix() }
+
+// Tally may range the map: nothing downstream hashes its output.
+func Tally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+// Package directive is a fixture for the suppression machinery itself: a
+// //lint:ignore comment without a check name and reason defeats the audit
+// trail and is reported as a finding of the synthetic lint-directive check.
+package directive
+
+//lint:ignore
+func Malformed() int { return 1 }
+
+//lint:ignore no-panic missing-reason-makes-this-malformed-too-if-only-one-field
+func WellFormed() int { return 2 }

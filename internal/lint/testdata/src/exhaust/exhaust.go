@@ -1,0 +1,93 @@
+// Package exhaust is a fixture for the exhaustive-fault-switch check. It
+// declares its own three-model enum (plus an unexported sentinel, mirroring
+// fault.Kind's numKinds) so the test exercises the analyzer machinery
+// without depending on the production enum.
+package exhaust
+
+import "fmt"
+
+type Kind int
+
+const (
+	Alpha Kind = iota
+	Beta
+	Gamma
+	numKinds // unexported sentinel: not part of the model set
+)
+
+var _ = numKinds
+
+// MissingNoDefault omits Gamma with no default: the silent-gap failure mode.
+func MissingNoDefault(k Kind) int {
+	switch k { // want "misses Gamma and has no default"
+	case Alpha:
+		return 1
+	case Beta:
+		return 2
+	}
+	return 0
+}
+
+// QuietDefault omits Gamma and its default neither panics nor errors.
+func QuietDefault(k Kind) int {
+	switch k { // want "default does not fail loudly"
+	case Alpha:
+		return 1
+	case Beta:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Covered lists every exported constant; the sentinel is not required.
+func Covered(k Kind) int {
+	switch k {
+	case Alpha:
+		return 1
+	case Beta:
+		return 2
+	case Gamma:
+		return 3
+	}
+	return 0
+}
+
+// LoudPanic omits models but the default asserts unreachability.
+func LoudPanic(k Kind) int {
+	switch k {
+	case Alpha:
+		return 1
+	default:
+		panic(fmt.Sprintf("unmodeled kind %d", k))
+	}
+}
+
+// LoudError omits models but the default returns a non-nil error.
+func LoudError(k Kind) (int, error) {
+	switch k {
+	case Alpha:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("unmodeled kind %d", k)
+	}
+}
+
+// Suppressed carries a documented directive and must not be reported.
+func Suppressed(k Kind) int {
+	//lint:ignore exhaustive-fault-switch fixture: demonstrating a documented gap
+	switch k {
+	case Alpha:
+		return 1
+	}
+	return 0
+}
+
+// NotTheEnum switches over a plain int and is out of scope.
+func NotTheEnum(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+// Package floateq is a fixture for the float-eq check.
+package floateq
+
+// Eq compares floats directly: the rounding-blind shape the check forbids.
+func Eq(a, b float64) bool {
+	return a == b // want "floating-point =="
+}
+
+// Neq is the negated twin.
+func Neq(a, b float64) bool {
+	return a != b // want "floating-point !="
+}
+
+// Mixed compares a float32 variable against an untyped constant.
+func Mixed(a float32) bool {
+	return a == 0.5 // want "floating-point =="
+}
+
+// Ints compares integers: out of scope.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Consts is folded at compile time; no runtime rounding is involved.
+func Consts() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+x == y
+}
+
+// Suppressed documents an intentional bit-exact comparison.
+func Suppressed(a, b float64) bool {
+	//lint:ignore float-eq fixture: intentional bit-exact comparison
+	return a == b
+}
+
+// Ordered comparisons are fine: only ==/!= conflate tolerance with identity.
+func Ordered(a, b float64) bool {
+	return a < b || a >= b
+}

@@ -1,0 +1,58 @@
+// Package nopanic is a fixture for the no-panic check.
+package nopanic
+
+import "fmt"
+
+// Validate panics on bad input in open code: the shape the check forbids.
+func Validate(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library package"
+	}
+	return n
+}
+
+// InCase panics inside a non-default case clause: still forbidden, the
+// exemption is only for asserting unreachability.
+func InCase(n int) int {
+	switch n {
+	case 0:
+		panic("zero") // want "panic in library package"
+	}
+	return n
+}
+
+// SwitchDefault panics in a switch default: the sanctioned
+// fail-loudly-on-impossible-value idiom, exempt without a directive.
+func SwitchDefault(n int) int {
+	switch n {
+	case 0:
+		return 1
+	default:
+		panic(fmt.Sprintf("unmodeled %d", n))
+	}
+}
+
+// TypeSwitchDefault is the type-switch twin of the exemption.
+func TypeSwitchDefault(v any) int {
+	switch v.(type) {
+	case int:
+		return 1
+	default:
+		panic("unmodeled type")
+	}
+}
+
+// Suppressed documents a programmer-error assertion.
+func Suppressed(n int) int {
+	if n < 0 {
+		//lint:ignore no-panic fixture: documented programmer-error assertion
+		panic("negative")
+	}
+	return n
+}
+
+// Shadowed calls a local function named panic, not the builtin.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

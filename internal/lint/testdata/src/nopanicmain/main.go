@@ -1,0 +1,8 @@
+// Command nopanicmain is a fixture proving package main is exempt from the
+// no-panic check: a command aborting the process is the conventional
+// top-level error handling, not a library crashing its host.
+package main
+
+func main() {
+	panic("commands may abort the process")
+}

@@ -1,0 +1,20 @@
+package margin
+
+// This file is the sanctioned home of exact floating-point comparison. The
+// float-eq analyzer (internal/lint) forbids bare == / != on floating-point
+// operands everywhere outside this package: a bare comparison cannot be
+// told apart from a tolerance bug during review, while a call to one of
+// these helpers states — greppably — that bit-exact semantics are the
+// intent.
+
+// ExactEq reports whether a and b are exactly equal floating-point values.
+// Use it where bit-identical equality is the contract (codec round-trips,
+// stuck-at-programmed-value checks, change detection in encoders), never
+// where two computations are merely expected to agree numerically.
+func ExactEq(a, b float64) bool { return a == b }
+
+// IsZero reports whether v is exactly zero (either sign). The dominant use
+// is the "field left at its zero value" convention of option structs and
+// the algebraic short-circuits where a coefficient of exactly 0 eliminates
+// a term.
+func IsZero(v float64) bool { return v == 0 }

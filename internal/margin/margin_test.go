@@ -1,4 +1,4 @@
-package margin
+package margin_test
 
 import (
 	"math"
@@ -6,15 +6,16 @@ import (
 
 	"neurotest/internal/core"
 	"neurotest/internal/fault"
+	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 	"neurotest/internal/tester"
 	"neurotest/internal/variation"
 )
 
-func mustAnalyze(t *testing.T, ts *pattern.TestSet, c float64, k int) Report {
+func mustAnalyze(t *testing.T, ts *pattern.TestSet, c float64, k int) margin.Report {
 	t.Helper()
-	rep, err := Analyze(ts, c, k)
+	rep, err := margin.Analyze(ts, c, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestZeroChargeProgramsAreInfinitelyTolerant(t *testing.T) {
 func TestAnalyzeRejectsBadConfidence(t *testing.T) {
 	ts := suite(t, snn.Arch{6, 4}, core.NoVariation())
 	for _, c := range []float64{0, -1} {
-		if _, err := Analyze(ts, c, 1); err == nil {
+		if _, err := margin.Analyze(ts, c, 1); err == nil {
 			t.Errorf("confidence %g accepted", c)
 		}
 	}

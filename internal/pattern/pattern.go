@@ -71,15 +71,18 @@ func (ts *TestSet) AddConfig(cfg *snn.Network) int {
 // configuration or carries a mis-sized pattern — both are generator bugs.
 func (ts *TestSet) AddItem(it Item) {
 	if it.ConfigIndex < 0 || it.ConfigIndex >= len(ts.Configs) {
+		//lint:ignore no-panic a dangling config index is a generator bug, documented on AddItem
 		panic(fmt.Sprintf("pattern: item %q references config %d of %d", it.Label, it.ConfigIndex, len(ts.Configs)))
 	}
 	if len(it.Pattern) != ts.Arch.Inputs() {
+		//lint:ignore no-panic a mis-sized pattern is a generator bug, documented on AddItem
 		panic(fmt.Sprintf("pattern: item %q pattern width %d, want %d", it.Label, len(it.Pattern), ts.Arch.Inputs()))
 	}
 	if it.Repeat <= 0 {
 		it.Repeat = 1
 	}
 	if it.Timesteps <= 0 {
+		//lint:ignore no-panic a zero observation window is a generator bug, documented on AddItem
 		panic(fmt.Sprintf("pattern: item %q has no observation window", it.Label))
 	}
 	ts.Items = append(ts.Items, it)
@@ -117,6 +120,7 @@ func (ts *TestSet) TestLength() int {
 // configuration indices. Both sets must target the same architecture.
 func (ts *TestSet) Merge(other *TestSet) {
 	if !ts.Arch.Equal(other.Arch) {
+		//lint:ignore no-panic merging test sets across architectures is a programmer error, documented on Merge
 		panic(fmt.Sprintf("pattern: cannot merge %v into %v", other.Arch, ts.Arch))
 	}
 	base := len(ts.Configs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"neurotest/internal/margin"
 	"neurotest/internal/snn"
 )
 
@@ -70,7 +71,7 @@ func (s Scheme) halfLevels() float64 {
 // snap quantizes w on a grid whose largest magnitude maxAbs maps exactly to
 // the top level. A zero maxAbs collapses the whole group to zero.
 func (s Scheme) snap(w, maxAbs float64) float64 {
-	if maxAbs == 0 {
+	if margin.IsZero(maxAbs) {
 		return 0
 	}
 	step := maxAbs / s.halfLevels()

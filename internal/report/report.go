@@ -100,6 +100,7 @@ func NewFigure(title, xlabel, ylabel string, x []float64) *Figure {
 // AddSeries appends one line. y must match the x axis length.
 func (f *Figure) AddSeries(name string, y []float64) {
 	if len(y) != len(f.X) {
+		//lint:ignore no-panic figures are assembled by harness code, never from input; a length mismatch is a bug
 		panic(fmt.Sprintf("report: series %q has %d points, axis has %d", name, len(y), len(f.X)))
 	}
 	f.Series = append(f.Series, Series{Name: name, Y: y})

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"neurotest/internal/margin"
 )
 
 // svgPalette holds the stroke colours assigned to series in order.
@@ -37,10 +39,10 @@ func (f *Figure) RenderSVG(w io.Writer) {
 		yMin, yMax = 0, 1
 	}
 	// Pad degenerate ranges so flat lines render mid-plot.
-	if xMax == xMin {
+	if margin.ExactEq(xMax, xMin) {
 		xMax = xMin + 1
 	}
-	if yMax == yMin {
+	if margin.ExactEq(yMax, yMin) {
 		yMax = yMin + 1
 	}
 	// A little headroom on the y axis.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"neurotest/internal/margin"
 	"neurotest/internal/pattern"
 )
 
@@ -108,8 +109,13 @@ func Verify(original, scheduled *pattern.TestSet) error {
 		return m
 	}
 	a, b := count(original), count(scheduled)
-	for k, n := range a {
-		if b[k] != n {
+	keys := make([]string, 0, len(a))
+	for k := range a { //lint:ignore determinism keys are sorted before any key can influence the verdict
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if b[k] != a[k] {
 			return fmt.Errorf("schedule: item multiset changed at %q", k)
 		}
 	}
@@ -126,7 +132,7 @@ type Report struct {
 
 // Speedup returns CostBefore / CostAfter.
 func (r Report) Speedup() float64 {
-	if r.CostAfter == 0 {
+	if margin.IsZero(r.CostAfter) {
 		return 1
 	}
 	return r.CostBefore / r.CostAfter

@@ -1,0 +1,12 @@
+package service
+
+import "time"
+
+// now is the package's single wall-clock read point. Job timestamps and
+// uptime are operator diagnostics: they are rendered in status JSON but
+// never feed the artifact cache keys or the encoded suite bytes, which is
+// why this one read is exempt from the determinism invariant. Tests swap
+// the variable to drive lifecycle clocks deterministically.
+//
+//lint:ignore determinism job timestamps are operator diagnostics, never cache-key or artifact input
+var now = time.Now

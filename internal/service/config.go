@@ -69,22 +69,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ListenAndServe runs the daemon until the process is interrupted
-// (SIGINT/SIGTERM), then shuts down gracefully: the listener closes, running
-// campaign jobs are cancelled through their contexts, and in-flight
-// responses get a drain window.
-func ListenAndServe(cfg Config, logw io.Writer) error {
+// ListenAndServe runs the daemon until ctx is cancelled or the process is
+// interrupted (SIGINT/SIGTERM), then shuts down gracefully: the listener
+// closes, running campaign jobs are cancelled through their contexts, and
+// in-flight responses get a drain window.
+func ListenAndServe(ctx context.Context, cfg Config, logw io.Writer) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	srv := New(cfg)
 	defer srv.Close()
 	hs := &http.Server{Addr: cfg.Addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	supervised("http listener", errc, hs.ListenAndServe)
 	fmt.Fprintf(logw, "neurotestd listening on %s (queue %d, workers %d, cache %d bytes)\n",
 		cfg.Addr, cfg.QueueCapacity, cfg.Workers, cfg.CacheBytes)
 
@@ -98,6 +98,23 @@ func ListenAndServe(cfg Config, logw io.Writer) error {
 		srv.Close() // cancel campaigns so streaming watchers terminate
 		return hs.Shutdown(sctx)
 	}
+}
+
+// supervised starts fn on its own goroutine behind a recover barrier: a
+// panic is converted into an error on errc instead of crashing the daemon.
+// Together with NewQueue's worker pool it is the only sanctioned spawn
+// point in this package (enforced by the ctx-goroutine check in
+// internal/lint); exported entry points reaching it must take a
+// context.Context so callers keep cancellation authority.
+func supervised(name string, errc chan<- error, fn func() error) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				errc <- fmt.Errorf("service: %s panicked: %v", name, p)
+			}
+		}()
+		errc <- fn()
+	}()
 }
 
 func maxInt(a, b int) int {

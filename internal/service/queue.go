@@ -136,7 +136,7 @@ func (j *Job) start() bool {
 		return false
 	}
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = now()
 	j.signalLocked()
 	return true
 }
@@ -156,7 +156,7 @@ func (j *Job) finish(result any, err error) JobState {
 		j.state = JobFailed
 		j.errMsg = err.Error()
 	}
-	j.finished = time.Now()
+	j.finished = now()
 	j.signalLocked()
 	return j.state
 }
@@ -171,7 +171,7 @@ func (j *Job) Cancel() bool {
 	if wasQueued {
 		j.state = JobCancelled
 		j.errMsg = "cancelled"
-		j.finished = time.Now()
+		j.finished = now()
 		j.signalLocked()
 	}
 	j.mu.Unlock()
@@ -226,7 +226,7 @@ func (q *Queue) Submit(kind string, run func(ctx context.Context) (any, error)) 
 	j := &Job{
 		Kind:    kind,
 		state:   JobQueued,
-		created: time.Now(),
+		created: now(),
 		changed: make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -280,6 +280,16 @@ func (q *Queue) Depth() int { return len(q.ch) }
 // Capacity returns the queue's buffer size.
 func (q *Queue) Capacity() int { return cap(q.ch) }
 
+// jobStateNames lists every state string in definition order; /metrics
+// walks it instead of ranging over the CountByState map so the rendered
+// gauge order is reproducible.
+func jobStateNames() []string {
+	return []string{
+		JobQueued.String(), JobRunning.String(), JobDone.String(),
+		JobFailed.String(), JobCancelled.String(),
+	}
+}
+
 // CountByState tallies known jobs per state, for /metrics.
 func (q *Queue) CountByState() map[string]int {
 	counts := map[string]int{
@@ -288,7 +298,8 @@ func (q *Queue) CountByState() map[string]int {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, j := range q.jobs {
+	for _, id := range q.order {
+		j := q.jobs[id]
 		j.mu.Lock()
 		counts[j.state.String()]++
 		j.mu.Unlock()
@@ -305,9 +316,9 @@ func (q *Queue) Close() {
 		return
 	}
 	q.closed = true
-	jobs := make([]*Job, 0, len(q.jobs))
-	for _, j := range q.jobs {
-		jobs = append(jobs, j)
+	jobs := make([]*Job, 0, len(q.order))
+	for _, id := range q.order {
+		jobs = append(jobs, q.jobs[id])
 	}
 	q.mu.Unlock()
 	for _, j := range jobs {

@@ -56,7 +56,7 @@ func New(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheBytes, m),
 		queue:   NewQueue(cfg.QueueCapacity, cfg.Workers, m),
 		mux:     http.NewServeMux(),
-		started: time.Now(),
+		started: now(),
 	}
 	s.routes()
 	return s
@@ -509,7 +509,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
+		"uptime_seconds": now().Sub(s.started).Seconds(),
 	})
 }
 
@@ -521,10 +521,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap["queue_depth"] = int64(s.queue.Depth())
 	snap["queue_capacity"] = int64(s.queue.Capacity())
 	snap["workers"] = int64(s.cfg.Workers)
-	for state, n := range s.queue.CountByState() {
-		snap["jobs_"+state] = int64(n)
+	counts := s.queue.CountByState()
+	for _, state := range jobStateNames() {
+		snap["jobs_"+state] = int64(counts[state])
 	}
-	snap["uptime_seconds"] = int64(time.Since(s.started).Seconds())
+	snap["uptime_seconds"] = int64(now().Sub(s.started).Seconds())
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -93,9 +93,11 @@ type Network struct {
 // errors, not runtime conditions.
 func New(arch Arch, params Params) *Network {
 	if err := arch.Validate(); err != nil {
+		//lint:ignore no-panic construction-time programmer error, documented in the doc comment
 		panic(err)
 	}
 	if err := params.Validate(); err != nil {
+		//lint:ignore no-panic construction-time programmer error, documented in the doc comment
 		panic(err)
 	}
 	w := make([][]float64, arch.Boundaries())

@@ -185,9 +185,11 @@ func (s *Simulator) RunTrace(pattern Pattern, timesteps int, mode InputMode, mod
 func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Modifiers, wantTrace bool) (Result, *Trace) {
 	arch := s.net.Arch
 	if len(pattern) != arch.Inputs() {
+		//lint:ignore no-panic mis-sized patterns are generator bugs, not runtime input (documented API contract)
 		panic(fmt.Sprintf("snn: pattern width %d does not match input layer %d", len(pattern), arch.Inputs()))
 	}
 	if timesteps <= 0 || timesteps > MaxTimesteps {
+		//lint:ignore no-panic observation windows are fixed by the generators; an invalid one is a harness bug
 		panic(fmt.Sprintf("snn: timesteps must be in [1,%d], got %d", MaxTimesteps, timesteps))
 	}
 	s.reset()

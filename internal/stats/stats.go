@@ -45,6 +45,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform variate in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore no-panic mirrors math/rand.Intn's documented contract for a non-positive bound
 		panic("stats: Intn argument must be positive")
 	}
 	return int(r.Uint64() % uint64(n))
@@ -75,6 +76,7 @@ func (r *RNG) NormFloat64() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
+		//lint:ignore float-eq Marsaglia polar rejection needs the exact zero bit pattern; margin would import-cycle through snn
 		if s >= 1 || s == 0 {
 			continue
 		}
@@ -122,6 +124,7 @@ func StdDev(xs []float64) float64 {
 // NormalCDF returns P(X <= x) for X ~ N(mu, sigma^2). For sigma == 0 it
 // returns the degenerate step function.
 func NormalCDF(x, mu, sigma float64) float64 {
+	//lint:ignore float-eq degenerate-distribution guard wants exact zero; margin would import-cycle through snn
 	if sigma == 0 {
 		if x < mu {
 			return 0

@@ -152,6 +152,7 @@ type Verdict struct {
 // Testing stops at the first failing item (production ATE behaviour).
 func (a *ATE) RunChip(mods *snn.Modifiers, vary variation.Model, rng *stats.RNG) Verdict {
 	if !vary.Zero() && rng == nil {
+		//lint:ignore no-panic documented API contract on RunChip: non-zero variation requires an RNG
 		panic("tester: variation requires an RNG")
 	}
 	errs := vary.SampleError(a.ts.Arch, rng)
@@ -309,6 +310,7 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 func (a *ATE) MeasureOverkill(nChips int, vary variation.Model, seed uint64) float64 {
 	pct, errs := a.OverkillCampaign(nChips, vary, seed)
 	if len(errs) > 0 {
+		//lint:ignore no-panic documented re-raise convenience; OverkillCampaign returns the errors instead
 		panic(errs[0])
 	}
 	return pct
@@ -331,6 +333,7 @@ func (a *ATE) OverkillCampaign(nChips int, vary variation.Model, seed uint64) (f
 func (a *ATE) MeasureEscape(faults []fault.Fault, values fault.Values, vary variation.Model, seed uint64) float64 {
 	pct, errs := a.EscapeCampaign(faults, values, vary, seed)
 	if len(errs) > 0 {
+		//lint:ignore no-panic documented re-raise convenience; EscapeCampaign returns the errors instead
 		panic(errs[0])
 	}
 	return pct

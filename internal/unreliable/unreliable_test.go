@@ -193,13 +193,16 @@ func TestStrings(t *testing.T) {
 func testChip(t *testing.T) *chip.Chip {
 	t.Helper()
 	arch := snn.Arch{4, 3, 2}
-	c := chip.New(chip.Config{
+	c, err := chip.New(chip.Config{
 		Arch:       arch,
 		Params:     snn.DefaultParams(),
 		Core:       chip.DefaultCoreShape(),
 		WeightBits: 8,
 		Variation:  variation.None(),
 	}, 1)
+	if err != nil {
+		t.Fatalf("chip.New: %v", err)
+	}
 	net := snn.New(arch, snn.DefaultParams())
 	for b := range net.W {
 		for i := range net.W[b] {
@@ -266,12 +269,15 @@ func TestStrikeDeterministic(t *testing.T) {
 }
 
 func TestStrikeUnprogrammed(t *testing.T) {
-	c := chip.New(chip.Config{
+	c, err := chip.New(chip.Config{
 		Arch:       snn.Arch{4, 3},
 		Params:     snn.DefaultParams(),
 		Core:       chip.DefaultCoreShape(),
 		WeightBits: 8,
 	}, 1)
+	if err != nil {
+		t.Fatalf("chip.New: %v", err)
+	}
 	if _, err := Strike(c, stats.NewRNG(1)); err == nil {
 		t.Errorf("strike on unprogrammed chip accepted")
 	}

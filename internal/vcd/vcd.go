@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"neurotest/internal/margin"
 	"neurotest/internal/snn"
 )
 
@@ -125,7 +126,7 @@ func Write(w io.Writer, arch snn.Arch, trace *snn.Trace, opt Options) error {
 				}
 				if opt.DumpCharge && k > 0 {
 					y := trace.Y[k][t*arch[k]+i]
-					if y != prevCharge[k][i] {
+					if !margin.ExactEq(y, prevCharge[k][i]) {
 						fmt.Fprintf(bw, "r%g %s\n", y, chargeIDs[k][i])
 						prevCharge[k][i] = y
 					}
