@@ -20,11 +20,15 @@
 package neurotest_test
 
 import (
+	"context"
+	"sort"
 	"testing"
+	"time"
 
 	"neurotest"
 	"neurotest/internal/fault"
 	"neurotest/internal/faultsim"
+	"neurotest/internal/obs"
 	"neurotest/internal/snn"
 	"neurotest/internal/tester"
 	"neurotest/internal/variation"
@@ -234,6 +238,68 @@ func bruteForceDetects(ts *neurotest.TestSet, values neurotest.FaultValues, f ne
 		}
 	}
 	return false
+}
+
+// BenchmarkObsOverhead_CoverageCampaign bounds the cost of the
+// observability layer on a Table-5-class exhaustive campaign (all ESF
+// faults of the paper's 4-layer model): an untraced run pays only the
+// always-on instruments (nil-safe spans, pooled counters), a traced run
+// additionally records the full phase-span timeline into a ring recorder.
+// The two variants are interleaved within every iteration so slow machine
+// drift cancels out of the comparison; the "overhead-%" metric is the
+// traced-over-untraced cost, which DESIGN.md §11 budgets at under 2 %.
+func BenchmarkObsOverhead_CoverageCampaign(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	ts := suite.PerKind[neurotest.ESF]
+	rec := obs.NewRecorder(0)
+
+	campaign := func(ctx context.Context) {
+		cov, err := m.MeasureCoverageContext(ctx, neurotest.ESF, ts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cov.Coverage() != 100 {
+			b.Fatalf("coverage %v", cov)
+		}
+	}
+	runUntraced := func() time.Duration {
+		t0 := time.Now()
+		campaign(context.Background())
+		return time.Since(t0)
+	}
+	runTraced := func() time.Duration {
+		t0 := time.Now()
+		ctx, root := obs.StartTrace(context.Background(), rec, obs.TraceID("bench-overhead"), "coverage")
+		campaign(ctx)
+		root.End()
+		return time.Since(t0)
+	}
+	ratios := make([]float64, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Alternate which variant goes first so position effects (GC debt from
+	// the preceding campaign, cache warmth) cancel, and take the median of
+	// the per-pair ratios so a stray GC pause landing in one variant cannot
+	// skew the estimate the way a sum would.
+	for i := 0; i < b.N; i++ {
+		var u, tr time.Duration
+		if i%2 == 0 {
+			u = runUntraced()
+			tr = runTraced()
+		} else {
+			tr = runTraced()
+			u = runUntraced()
+		}
+		if u > 0 {
+			ratios = append(ratios, tr.Seconds()/u.Seconds())
+		}
+	}
+	b.StopTimer()
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		b.ReportMetric(100*(ratios[len(ratios)/2]-1), "overhead-%")
+	}
 }
 
 // BenchmarkSimulatorForwardPass measures the raw cost of one full

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	experiments [-quick] [-table 3|5|6|ratio] [-figure 4] [-model 4|5]
-//	            [-csv dir] [-seed N] [-v]
+//	            [-csv dir] [-seed N] [-trace file] [-v]
 //
 // With no selection flags, all tables and both figures are produced.
+// -trace records one span per regenerated table/figure and writes them as
+// NDJSON when the run finishes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,18 +22,20 @@ import (
 	"time"
 
 	"neurotest/internal/experiments"
+	"neurotest/internal/obs"
 	"neurotest/internal/report"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "scaled-down populations for fast smoke runs")
-		table   = flag.String("table", "", "regenerate one table: 3, 5, 6 or ratio (default: all)")
-		figure  = flag.String("figure", "", "regenerate one figure: 4 (default: all)")
-		model   = flag.String("model", "", "restrict to one model: 4 or 5 (default: both)")
-		csvDir  = flag.String("csv", "", "also write figure series as CSV files into this directory")
-		seed    = flag.Uint64("seed", 0, "override the experiment seed")
-		verbose = flag.Bool("v", false, "print per-campaign progress")
+		quick    = flag.Bool("quick", false, "scaled-down populations for fast smoke runs")
+		table    = flag.String("table", "", "regenerate one table: 3, 5, 6 or ratio (default: all)")
+		figure   = flag.String("figure", "", "regenerate one figure: 4 (default: all)")
+		model    = flag.String("model", "", "restrict to one model: 4 or 5 (default: both)")
+		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		seed     = flag.Uint64("seed", 0, "override the experiment seed")
+		traceOut = flag.String("trace", "", "write per-table/figure phase spans to this file as NDJSON")
+		verbose  = flag.Bool("v", false, "print per-campaign progress")
 	)
 	flag.Parse()
 
@@ -65,45 +70,90 @@ func main() {
 		return (*table == "" && *figure == "") || *figure == name
 	}
 
+	// With -trace, every regenerated artefact runs under its own trace
+	// root, recording how long each table/figure took. The trace ID derives
+	// from the artefact name and seed, so identical runs produce identical
+	// trace and span IDs.
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+	}
+	phase := func(name string, run func(ctx context.Context)) {
+		key := fmt.Sprintf("experiments|%s|seed=%d|quick=%v", name, cfg.Seed, *quick)
+		ctx, root := obs.StartTrace(context.Background(), rec, obs.TraceID(key), name)
+		run(ctx)
+		root.End()
+	}
+
 	start := time.Now()
 	if wantTable("3") {
-		runner.Table3().Render(os.Stdout)
-		fmt.Println()
+		phase("table3", func(context.Context) {
+			runner.Table3().Render(os.Stdout)
+			fmt.Println()
+		})
 	}
 	if wantTable("5") {
 		for _, arch := range arches {
-			t, _ := runner.Table5(arch)
-			t.Render(os.Stdout)
-			fmt.Println()
+			phase(fmt.Sprintf("table5-%v", arch), func(context.Context) {
+				t, _ := runner.Table5(arch)
+				t.Render(os.Stdout)
+				fmt.Println()
+			})
 		}
 	}
 	if wantTable("6") {
 		for _, arch := range arches {
-			t, _ := runner.Table6(arch)
-			t.Render(os.Stdout)
-			fmt.Println()
+			phase(fmt.Sprintf("table6-%v", arch), func(context.Context) {
+				t, _ := runner.Table6(arch)
+				t.Render(os.Stdout)
+				fmt.Println()
+			})
 		}
 	}
 	if wantTable("ratio") {
-		runner.RatioTable().Render(os.Stdout)
-		fmt.Println()
+		phase("ratio", func(context.Context) {
+			runner.RatioTable().Render(os.Stdout)
+			fmt.Println()
+		})
 	}
 	if wantFigure("4") {
 		for _, arch := range arches {
-			escape, overkill := runner.Figure4(arch)
-			escape.RenderASCII(os.Stdout)
-			fmt.Println()
-			overkill.RenderASCII(os.Stdout)
-			fmt.Println()
-			if *csvDir != "" {
-				writeCSV(*csvDir, fmt.Sprintf("fig4_escape_%s.csv", arch), escape)
-				writeCSV(*csvDir, fmt.Sprintf("fig4_overkill_%s.csv", arch), overkill)
-				writeSVG(*csvDir, fmt.Sprintf("fig4_escape_%s.svg", arch), escape)
-				writeSVG(*csvDir, fmt.Sprintf("fig4_overkill_%s.svg", arch), overkill)
-			}
+			phase(fmt.Sprintf("figure4-%v", arch), func(context.Context) {
+				escape, overkill := runner.Figure4(arch)
+				escape.RenderASCII(os.Stdout)
+				fmt.Println()
+				overkill.RenderASCII(os.Stdout)
+				fmt.Println()
+				if *csvDir != "" {
+					writeCSV(*csvDir, fmt.Sprintf("fig4_escape_%s.csv", arch), escape)
+					writeCSV(*csvDir, fmt.Sprintf("fig4_overkill_%s.csv", arch), overkill)
+					writeSVG(*csvDir, fmt.Sprintf("fig4_escape_%s.svg", arch), escape)
+					writeSVG(*csvDir, fmt.Sprintf("fig4_overkill_%s.svg", arch), overkill)
+				}
+			})
 		}
 	}
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", rec.Len(), *traceOut)
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// writeTrace dumps a recorder's spans to path as NDJSON.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(dir, name string, f *report.Figure) {

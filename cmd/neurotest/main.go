@@ -36,6 +36,7 @@ import (
 	"neurotest/internal/experiments"
 	"neurotest/internal/fault"
 	"neurotest/internal/margin"
+	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/quant"
 	"neurotest/internal/service"
@@ -256,6 +257,7 @@ func cmdCoverage(args []string) error {
 	varAware := fs.Bool("variation-aware", false, "use the variation-tolerant settings")
 	bits := fs.Int("bits", 0, "quantize configurations to this many bits (0 = ideal)")
 	gran := fs.String("granularity", "channel", "quantization granularity: network, boundary, channel")
+	traceOut := fs.String("trace", "", "write campaign phase spans to this file as NDJSON")
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -298,9 +300,19 @@ func cmdCoverage(args []string) error {
 	if !all {
 		kinds = []neurotest.FaultKind{kind}
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+	}
 	for _, k := range kinds {
 		ts := g.Generate(k)
-		cov, err := m.MeasureCoverage(k, ts, scheme)
+		// The trace ID derives from the campaign's content address, so a
+		// re-run of the same coverage measurement yields the same trace.
+		spec := service.SuiteSpec{Arch: arch, VariationAware: *varAware, Kind: k, Scheme: scheme}
+		ctx, root := obs.StartTrace(context.Background(), rec, obs.TraceID(spec.Key()+"|cli-coverage"), "coverage")
+		root.SetAttr("kind", k.String())
+		cov, err := m.MeasureCoverageContext(ctx, k, ts, scheme)
+		root.End()
 		if err != nil {
 			return err
 		}
@@ -313,7 +325,26 @@ func cmdCoverage(args []string) error {
 			fmt.Printf("      undetected: %v\n", f)
 		}
 	}
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", rec.Len(), *traceOut)
+	}
 	return nil
+}
+
+// writeTrace dumps a recorder's spans to path as NDJSON.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdDiagnose(args []string) error {

@@ -25,6 +25,7 @@ import (
 
 	"neurotest/internal/fault"
 	"neurotest/internal/margin"
+	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 )
@@ -54,6 +55,11 @@ type Engine struct {
 	mp     [][]float64
 	spikes [][]bool
 	delta  []float64
+	// engine-local memo statistics, flushed to the obs counters once per
+	// fault evaluation (engines are single-goroutine worker scratch, so
+	// plain ints suffice on the hot path)
+	pendingMemoHits   int
+	pendingMemoMisses int
 }
 
 // ConfigTransform optionally rewrites each test configuration before
@@ -64,6 +70,9 @@ type ConfigTransform func(*snn.Network) *snn.Network
 // New builds an engine: it runs and caches the good-chip simulation of every
 // item in ts. transform, when non-nil, is applied once per configuration.
 func New(ts *pattern.TestSet, values fault.Values, transform ConfigTransform) *Engine {
+	ensureObs()
+	timer := obs.StartTimer()
+	defer func() { timer.ObserveElapsed(engineBuilds) }()
 	e := &Engine{ts: ts, values: values}
 	arch := ts.Arch
 	// Transform each distinct configuration once.
@@ -132,6 +141,7 @@ func (e *Engine) DetectsContext(ctx context.Context, f fault.Fault) (bool, error
 // DetectingItemContext is DetectingItem with cooperative cancellation. On
 // cancellation it returns (-1, ctx.Err()) without finishing the scan.
 func (e *Engine) DetectingItemContext(ctx context.Context, f fault.Fault) (int, error) {
+	defer e.flushObs()
 	for i := range e.items {
 		if err := ctx.Err(); err != nil {
 			return -1, err
@@ -276,8 +286,10 @@ func (e *Engine) reintegrate(ic *itemCtx, layer, index int, theta float64, delta
 func (e *Engine) downstream(ic *itemCtx, layer, index int, faultyTrain uint64) bool {
 	key := memoKey{layer: layer, index: index, train: faultyTrain}
 	if det, ok := ic.memo[key]; ok {
+		e.pendingMemoHits++
 		return det
 	}
+	e.pendingMemoMisses++
 
 	arch := e.ts.Arch
 	L := arch.Layers()

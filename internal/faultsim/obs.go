@@ -1,0 +1,58 @@
+package faultsim
+
+import (
+	"sync"
+
+	"neurotest/internal/obs"
+)
+
+// Package-level instruments in the process-wide obs default registry. The
+// engine accumulates memo statistics in plain per-engine fields (engines are
+// single-goroutine worker scratch) and flushes them here once per fault
+// evaluation, so the hot downstream path never touches an atomic.
+var (
+	obsOnce sync.Once
+
+	faultsSimulated *obs.Counter
+	memoHits        *obs.Counter
+	memoMisses      *obs.Counter
+	engineBuilds    *obs.Histogram
+)
+
+// ensureObs registers the package instruments on first use.
+func ensureObs() {
+	obsOnce.Do(func() {
+		r := obs.Default()
+		faultsSimulated = r.Counter("faultsim_faults_simulated_total",
+			"fault evaluations run by incremental engines")
+		memoHits = r.Counter("faultsim_memo_hits_total",
+			"downstream re-simulations avoided by the (layer, neuron, train) memo")
+		memoMisses = r.Counter("faultsim_memo_misses_total",
+			"downstream re-simulations actually run")
+		r.GaugeFunc("faultsim_memo_hit_ratio",
+			"fraction of downstream lookups served from the memo",
+			func() float64 {
+				h, m := memoHits.Value(), memoMisses.Value()
+				if h+m == 0 {
+					return 0
+				}
+				return float64(h) / float64(h+m)
+			})
+		engineBuilds = r.Histogram("faultsim_engine_build_seconds",
+			"good-chip simulation and trace caching when an engine is built", nil)
+	})
+}
+
+// flushObs publishes one evaluation's accumulated memo statistics.
+func (e *Engine) flushObs() {
+	ensureObs()
+	faultsSimulated.Inc()
+	if e.pendingMemoHits > 0 {
+		memoHits.Add(int64(e.pendingMemoHits))
+		e.pendingMemoHits = 0
+	}
+	if e.pendingMemoMisses > 0 {
+		memoMisses.Add(int64(e.pendingMemoMisses))
+		e.pendingMemoMisses = 0
+	}
+}

@@ -8,13 +8,16 @@ package lint
 // artifact keys of the content-addressed cache: the suite generator and its
 // building blocks, the codec, the compaction/scheduling rewrites, the
 // report and waveform encoders, and the service layer that hashes and
-// serves the artifacts.
+// serves the artifacts. internal/obs is included because its spans and
+// metric exposition are themselves served artifacts (/v1/traces, /metrics):
+// all wall-clock reads there must flow through its one audited hook.
 func DeterministicPaths() []string {
 	return []string{
 		"neurotest",
 		"neurotest/internal/baseline",
 		"neurotest/internal/compact",
 		"neurotest/internal/core",
+		"neurotest/internal/obs",
 		"neurotest/internal/pattern",
 		"neurotest/internal/report",
 		"neurotest/internal/schedule",

@@ -97,6 +97,13 @@ func TestDeterminismFixture(t *testing.T) {
 	checkFixture(t, "determ", NewDeterminism(fixtureBase+"determ"))
 }
 
+func TestDeterminismObsSpanFixture(t *testing.T) {
+	// determobs mirrors internal/obs (a deterministic path in production):
+	// a span struct capturing time.Now/time.Since directly is flagged, the
+	// single audited clock hook is not.
+	checkFixture(t, "determobs", NewDeterminism(fixtureBase+"determobs"))
+}
+
 func TestDeterminismScopedToConfiguredPaths(t *testing.T) {
 	// determoff reads the clock and ranges maps, but is not configured as a
 	// deterministic path: no findings.

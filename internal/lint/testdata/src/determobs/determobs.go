@@ -1,0 +1,44 @@
+// Package determobs is a fixture for the determinism check over an
+// obs-style span recorder; the test configures its import path as a
+// deterministic (artifact-producing) path, the way production wires
+// neurotest/internal/obs. It proves that capturing the wall clock on the
+// artifact path is flagged, and that the sanctioned shape — one audited
+// clock hook exporting durations only — is clean.
+package determobs
+
+import "time"
+
+// now is the package's single audited clock hook, mirroring obs.clock.go:
+// everything derived from it is a duration, never an absolute timestamp.
+var now = time.Now //lint:ignore determinism single audited clock hook; spans export durations only
+
+// Span is a cut-down obs span carrying wall-clock state.
+type Span struct {
+	Name    string
+	Started time.Time
+	DurUS   int64
+}
+
+// StartStamped captures an absolute timestamp into the span record: the
+// exact leak the analyzer exists to catch on artifact-producing paths.
+func StartStamped(name string) *Span {
+	return &Span{Name: name, Started: time.Now()} // want "time\.Now on a deterministic path"
+}
+
+// EndStamped derives the duration through time.Since, which reads the
+// clock just the same.
+func (s *Span) EndStamped() {
+	s.DurUS = time.Since(s.Started).Microseconds() // want "time\.Since on a deterministic path"
+}
+
+// StartAudited goes through the audited hook: clean, because the single
+// suppression on the hook is the package's one reviewed clock read.
+func StartAudited(name string) *Span {
+	return &Span{Name: name, Started: now()}
+}
+
+// EndAudited computes the duration from two hook reads without touching
+// time.Since: clean.
+func (s *Span) EndAudited() {
+	s.DurUS = now().Sub(s.Started).Microseconds()
+}

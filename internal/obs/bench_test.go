@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"strconv"
+	"testing"
+)
+
+// Micro-benchmarks for the instrument hot paths. The numbers that matter
+// downstream: counter/histogram observation must stay in the tens of
+// nanoseconds so per-evaluation instrumentation of campaign pools is noise,
+// and a nil span must cost nothing so untraced requests pay only a pointer
+// test.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_counter_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkTimerObserveElapsed(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_timer_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := StartTimer()
+		t.ObserveElapsed(h)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	rec := NewRecorder(1024)
+	ctx, root := StartTrace(context.Background(), rec, TraceID("bench"), "root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanStartEndUntraced(b *testing.B) {
+	ctx := context.Background() // no trace: spans must be free
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		c := r.Counter("bench_family_total", "bench", L("shard", strconv.Itoa(i)))
+		c.Add(int64(i))
+		r.Histogram("bench_hist_seconds", "bench", nil, L("shard", strconv.Itoa(i))).Observe(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteText(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

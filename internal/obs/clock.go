@@ -1,0 +1,29 @@
+package obs
+
+import "time"
+
+// now is the package's single wall-clock read point, mirroring the service
+// clock hook established in PR 3. Everything obs exposes downstream is a
+// duration (span durations, start offsets relative to the trace epoch,
+// histogram observations): absolute timestamps never leave this file, so
+// instrumented code on artifact-producing paths stays a pure function of
+// its inputs. Tests swap the variable to drive timers deterministically.
+//
+//lint:ignore determinism timing instrumentation is operator diagnostics; only durations are exposed, never wall-clock values
+var now = time.Now
+
+// Timer measures one elapsed interval through the audited clock hook.
+// Instrumented packages use StartTimer/Elapsed instead of reading the
+// clock themselves, which keeps their own files free of time.Now and lets
+// the determinism analyzer scope the single exemption to this package.
+type Timer struct{ start time.Time }
+
+// StartTimer starts a timer at the current instant.
+func StartTimer() Timer { return Timer{start: now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return now().Sub(t.start) }
+
+// ObserveElapsed records the timer's elapsed seconds into h (nil-safe, a
+// no-op on a nil histogram — the uninstrumented fast path).
+func (t Timer) ObserveElapsed(h *Histogram) { h.Observe(t.Elapsed().Seconds()) }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// sub-millisecond instrument overheads up to multi-minute exhaustive
+// campaigns.
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+	}
+}
+
+// Histogram is a fixed-bucket histogram. Observations are lock-free
+// (per-bucket atomic counts plus a CAS-maintained sum); rendering follows
+// Prometheus semantics — cumulative bucket counts with inclusive upper
+// bounds (a value exactly on a boundary lands in that boundary's bucket),
+// an implicit +Inf bucket, and _sum/_count samples. All methods are
+// nil-safe so uninstrumented paths cost nothing.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given upper bounds, sorted
+// ascending with non-increasing duplicates dropped. nil or empty selects
+// DefBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets()
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for _, b := range sorted {
+		if len(uniq) == 0 || uniq[len(uniq)-1] < b {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{
+		bounds: uniq,
+		counts: make([]atomic.Int64, len(uniq)+1), // last slot = +Inf
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// SearchFloat64s returns the first index with bounds[i] >= v: the
+	// smallest bucket whose inclusive upper bound admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return bitsFloat(h.sumBits.Load())
+}
+
+// Mean returns the average observation, or 0 when empty — the estimator
+// behind the queue's derived Retry-After.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+func (h *Histogram) writeText(b *strings.Builder, name, labels string) {
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", withExtraLabel(labels, "le", formatBound(h.bounds[i])), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(b, name+"_bucket", withExtraLabel(labels, "le", "+Inf"), float64(cum))
+	writeSample(b, name+"_sum", labels, h.Sum())
+	writeSample(b, name+"_count", labels, float64(cum))
+}
+
+// formatBound renders a bucket bound for the le label.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

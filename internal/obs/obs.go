@@ -1,0 +1,40 @@
+// Package obs is the repository's stdlib-only observability substrate:
+// typed instruments (counters, gauges, fixed-bucket histograms) behind a
+// registry with deterministic Prometheus text exposition, hierarchical
+// spans recording phase durations into a bounded ring buffer with NDJSON
+// export, and runtime gauges for the daemon's ops surface.
+//
+// The package is written to live on the repository's deterministic
+// (artifact-producing) paths, so it obeys the determinism invariant
+// enforced by neurolint (DESIGN.md §10, §11):
+//
+//   - every wall-clock read goes through the single audited hook in
+//     clock.go; instruments and spans expose only durations, never
+//     absolute timestamps, so no wall-clock value can leak into artifact
+//     bytes or cache keys;
+//   - exposition output is byte-stable for a given set of instrument
+//     values: families render sorted by name, series sorted by label
+//     signature, floats in a fixed format (golden-tested);
+//   - span IDs are pure functions of (trace ID, path of span names,
+//     per-name ordinal), and trace IDs derive from campaign cache keys —
+//     the same campaign yields the same span IDs on every run.
+//
+// Instrumented libraries (internal/tester, internal/faultsim) register
+// their instruments in the process-wide Default registry; the neurotestd
+// server renders its per-server registry merged with Default, so one
+// scrape sees the whole picture.
+package obs
+
+import "sync"
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry that library packages hang
+// their instruments on. Servers render it merged with their own registry.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}

@@ -1,0 +1,29 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeGauges wires the Go runtime's health signals into r:
+// goroutine count, heap footprint and GC activity. Values are read at
+// scrape time; registration is idempotent (first registration wins). Each
+// MemStats-backed instrument takes its own ReadMemStats snapshot — cheap
+// relative to scrape cadence, and it keeps the gauges free of shared
+// mutable state.
+func RegisterRuntimeGauges(r *Registry) {
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "number of live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "bytes of allocated heap objects",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("go_heap_objects", "number of allocated heap objects",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	r.CounterFunc("go_gc_cycles_total", "completed GC cycles",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "cumulative GC stop-the-world pause time",
+		read(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a finished span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SpanRecord is the exported (NDJSON) form of one finished span. It
+// carries only durations — the start offset is relative to the trace
+// root's start instant — so traces obey the determinism invariant: no
+// wall-clock value appears in any exported field.
+type SpanRecord struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"` // offset from the trace root's start
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight phase of a trace. Spans form a tree rooted at
+// StartTrace; child spans are created with StartSpan on a context carrying
+// their parent. All methods are nil-safe: code instrumented with spans
+// runs at full speed when no trace is attached to the context (StartSpan
+// then returns a nil span whose End is a no-op).
+type Span struct {
+	rec    *Recorder
+	trace  string
+	id     string
+	parent string
+	name   string
+	epoch  time.Time // trace root start; offsets are measured from it
+	start  time.Time
+
+	mu    sync.Mutex
+	seq   map[string]int // per-child-name ordinal, for deterministic IDs
+	attrs []Attr
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches sp to ctx; SpanFromContext retrieves it.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceID derives a reproducible trace identifier from a campaign key —
+// the service passes artifact cache keys here, so the same campaign
+// yields the same trace (and therefore span) IDs on every run.
+func TraceID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
+
+// StartTrace opens a trace root recording into rec and returns a context
+// carrying it. id should come from TraceID so traces are reproducible;
+// name labels the root phase.
+func StartTrace(ctx context.Context, rec *Recorder, id, name string) (context.Context, *Span) {
+	if rec == nil {
+		return ctx, nil
+	}
+	start := now()
+	sp := &Span{
+		rec:   rec,
+		trace: id,
+		id:    spanID(id, name, 0),
+		name:  name,
+		epoch: start,
+		start: start,
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying the child. Without a span on the context it returns
+// (ctx, nil): instrumentation points pay nothing when untraced.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.child(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// child builds a sub-span. The child's ID hashes (parent ID, name,
+// per-name ordinal), so concurrently created children with distinct names
+// get scheduling-independent IDs, and same-named repeats are numbered in
+// claim order.
+func (s *Span) child(name string) *Span {
+	s.mu.Lock()
+	if s.seq == nil {
+		s.seq = make(map[string]int)
+	}
+	n := s.seq[name]
+	s.seq[name] = n + 1
+	s.mu.Unlock()
+	return &Span{
+		rec:    s.rec,
+		trace:  s.trace,
+		id:     spanID(s.id, name, n),
+		parent: s.id,
+		name:   name,
+		epoch:  s.epoch,
+		start:  now(),
+	}
+}
+
+// SetAttr annotates the span (nil-safe). Attributes render sorted by key.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and records it (nil-safe). Duration and start
+// offset are durations measured through the audited clock hook; no
+// absolute timestamp is stored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := now()
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	s.rec.add(SpanRecord{
+		Trace:   s.trace,
+		Span:    s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.epoch).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// spanID derives a child identifier from its parent's ID, its name and its
+// per-name ordinal — a pure function, so trace shapes map to stable IDs.
+func spanID(parent, name string, n int) string {
+	sum := sha256.Sum256([]byte(parent + "|" + name + "|" + strconv.Itoa(n)))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDReproducible(t *testing.T) {
+	a, b := TraceID("campaign-key"), TraceID("campaign-key")
+	if a != b {
+		t.Errorf("TraceID not stable: %s vs %s", a, b)
+	}
+	if len(a) != 32 {
+		t.Errorf("TraceID length = %d, want 32 hex chars", len(a))
+	}
+	if TraceID("other-key") == a {
+		t.Error("distinct keys produced the same trace ID")
+	}
+}
+
+func TestSpanNestingAndOffsets(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx, root := StartTrace(context.Background(), rec, TraceID("k"), "coverage")
+	_, gen := StartSpan(ctx, "generate")
+	gen.SetAttr("kind", "neuron")
+	gen.End()
+	_, sim := StartSpan(ctx, "fault-simulate")
+	sim.End()
+	root.End()
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	// Completion order: generate, fault-simulate, coverage.
+	if spans[0].Name != "generate" || spans[1].Name != "fault-simulate" || spans[2].Name != "coverage" {
+		t.Errorf("span order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	rootRec := spans[2]
+	if rootRec.Parent != "" || rootRec.Trace != TraceID("k") {
+		t.Errorf("root span parent=%q trace=%q", rootRec.Parent, rootRec.Trace)
+	}
+	for _, child := range spans[:2] {
+		if child.Parent != rootRec.Span {
+			t.Errorf("%s parent = %q, want root %q", child.Name, child.Parent, rootRec.Span)
+		}
+		if child.Trace != rootRec.Trace {
+			t.Errorf("%s trace = %q, want %q", child.Name, child.Trace, rootRec.Trace)
+		}
+		if child.StartUS < 0 || child.DurUS < 0 {
+			t.Errorf("%s has negative offset/duration: %+v", child.Name, child)
+		}
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0] != (Attr{Key: "kind", Value: "neuron"}) {
+		t.Errorf("generate attrs = %+v", spans[0].Attrs)
+	}
+}
+
+// TestSpanIDsDeterministicAcrossRuns runs the same concurrent span tree
+// twice and requires the exact same set of span IDs: sibling spans with
+// distinct names derive IDs from (parent, name, ordinal), so goroutine
+// scheduling cannot change them.
+func TestSpanIDsDeterministicAcrossRuns(t *testing.T) {
+	run := func() map[string]string {
+		rec := NewRecorder(64)
+		ctx, root := StartTrace(context.Background(), rec, TraceID("pool"), "measure")
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, sp := StartSpan(ctx, fmt.Sprintf("chip-%d", i))
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		root.End()
+		ids := make(map[string]string)
+		for _, s := range rec.Snapshot() {
+			ids[s.Name] = s.Span
+		}
+		return ids
+	}
+	first, second := run(), run()
+	if len(first) != 9 {
+		t.Fatalf("recorded %d distinct names, want 9", len(first))
+	}
+	for name, id := range first {
+		if second[name] != id {
+			t.Errorf("span %q ID changed across runs: %s vs %s", name, id, second[name])
+		}
+	}
+}
+
+func TestSameNamedSiblingsGetOrdinals(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx, root := StartTrace(context.Background(), rec, TraceID("x"), "root")
+	_, a := StartSpan(ctx, "retry")
+	a.End()
+	_, b := StartSpan(ctx, "retry")
+	b.End()
+	root.End()
+	spans := rec.Snapshot()
+	if spans[0].Span == spans[1].Span {
+		t.Error("same-named siblings share a span ID")
+	}
+}
+
+func TestStartSpanWithoutTraceIsFree(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace must return a nil span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if SpanFromContext(ctx) != nil {
+		t.Error("untraced context must not carry a span")
+	}
+}
+
+func TestStartTraceNilRecorder(t *testing.T) {
+	ctx, sp := StartTrace(context.Background(), nil, TraceID("k"), "root")
+	if sp != nil {
+		t.Fatal("StartTrace with nil recorder must return a nil span")
+	}
+	sp.End()
+	if SpanFromContext(ctx) != nil {
+		t.Error("context must stay clean when tracing is off")
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		rec.add(SpanRecord{Name: fmt.Sprintf("s%d", i)})
+	}
+	if rec.Len() != 3 || rec.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", rec.Len(), rec.Total())
+	}
+	var names []string
+	for _, s := range rec.Snapshot() {
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ","); got != "s2,s3,s4" {
+		t.Errorf("ring keeps %s, want s2,s3,s4 (oldest first)", got)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx, root := StartTrace(context.Background(), rec, TraceID("nd"), "root")
+	_, sp := StartSpan(ctx, "phase")
+	sp.SetAttr("chips", "3")
+	sp.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := rec.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var s SpanRecord
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Errorf("line %q is not valid JSON: %v", line, err)
+		}
+		if s.Trace != TraceID("nd") {
+			t.Errorf("line %q has trace %q", line, s.Trace)
+		}
+	}
+	// No wall-clock field may appear in the export.
+	if strings.Contains(buf.String(), "wall") || strings.Contains(buf.String(), "time\"") {
+		t.Errorf("export leaks wall-clock fields:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentSpansUnderPools(t *testing.T) {
+	rec := NewRecorder(DefaultSpanBuffer)
+	ctx, root := StartTrace(context.Background(), rec, TraceID("stress"), "campaign")
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pctx, pool := StartSpan(ctx, fmt.Sprintf("pool-%d", p))
+			var inner sync.WaitGroup
+			for c := 0; c < 16; c++ {
+				inner.Add(1)
+				go func(c int) {
+					defer inner.Done()
+					_, sp := StartSpan(pctx, fmt.Sprintf("chip-%d", c))
+					sp.SetAttr("pool", fmt.Sprintf("%d", p))
+					sp.End()
+				}(c)
+			}
+			inner.Wait()
+			pool.End()
+		}(p)
+	}
+	wg.Wait()
+	root.End()
+	spans := rec.Snapshot()
+	if len(spans) != 1+4+4*16 {
+		t.Fatalf("recorded %d spans, want %d", len(spans), 1+4+4*16)
+	}
+	// Every chip span's parent must be its pool span, and every pool's
+	// parent the root; IDs must be unique.
+	byID := make(map[string]SpanRecord, len(spans))
+	for _, s := range spans {
+		if _, dup := byID[s.Span]; dup {
+			t.Fatalf("duplicate span ID %s", s.Span)
+		}
+		byID[s.Span] = s
+	}
+	for _, s := range spans {
+		if s.Parent == "" {
+			if s.Name != "campaign" {
+				t.Errorf("non-root span %q has no parent", s.Name)
+			}
+			continue
+		}
+		parent, ok := byID[s.Parent]
+		if !ok {
+			t.Errorf("span %q parent %s not recorded", s.Name, s.Parent)
+			continue
+		}
+		if strings.HasPrefix(s.Name, "chip-") && !strings.HasPrefix(parent.Name, "pool-") {
+			t.Errorf("chip span %q parented by %q", s.Name, parent.Name)
+		}
+		if strings.HasPrefix(s.Name, "pool-") && parent.Name != "campaign" {
+			t.Errorf("pool span %q parented by %q", s.Name, parent.Name)
+		}
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	h := newHistogram([]float64{1000})
+	tm := StartTimer()
+	if tm.Elapsed() < 0 {
+		t.Error("negative elapsed time")
+	}
+	tm.ObserveElapsed(h)
+	if h.Count() != 1 {
+		t.Errorf("observed %d, want 1", h.Count())
+	}
+	tm.ObserveElapsed(nil) // nil-safe
+}

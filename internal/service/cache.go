@@ -12,6 +12,7 @@ import (
 
 	"neurotest"
 	"neurotest/internal/fault"
+	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/quant"
 	"neurotest/internal/snn"
@@ -171,7 +172,11 @@ func (a *Artifact) ATE() (*tester.ATE, error) {
 		if a.metrics != nil {
 			a.metrics.GoldenBuilds.Add(1)
 		}
+		timer := obs.StartTimer()
 		a.ate = tester.New(a.ts, neurotest.QuantizeTransform(a.spec.Scheme))
+		if a.metrics != nil {
+			timer.ObserveElapsed(a.metrics.GoldenBuildSeconds)
+		}
 	})
 	return a.ate, a.ateErr
 }
@@ -258,7 +263,9 @@ func (c *Cache) Suite(spec SuiteSpec) (*Artifact, Source, error) {
 	c.metrics.CacheMisses.Add(1)
 	c.metrics.SuiteGenerations.Add(1)
 
+	timer := obs.StartTimer()
 	art, err := spec.build()
+	timer.ObserveElapsed(c.metrics.ArtifactBuildSeconds)
 	if art != nil {
 		art.metrics = c.metrics
 	}

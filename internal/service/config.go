@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"syscall"
 	"time"
 )
@@ -32,6 +34,15 @@ type Config struct {
 	// more than this many weights per configuration, keeping one artifact
 	// within a sane fraction of the cache (0 = default).
 	MaxWeights int
+	// PprofAddr, when non-empty, serves net/http/pprof on a separate ops
+	// listener (never the public API address).
+	PprofAddr string
+	// TraceFile, when non-empty, receives the span ring buffer as NDJSON
+	// when the daemon shuts down.
+	TraceFile string
+	// TraceBuffer bounds the span ring buffer (<= 0 selects the obs
+	// default).
+	TraceBuffer int
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -53,6 +64,9 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.Workers, "workers", c.Workers, "concurrent campaign jobs")
 	fs.Int64Var(&c.CacheBytes, "cache-bytes", c.CacheBytes, "artifact cache budget in encoded bytes (<=0 unbounded)")
 	fs.IntVar(&c.MaxWeights, "max-weights", c.MaxWeights, "largest per-configuration weight count accepted")
+	fs.StringVar(&c.PprofAddr, "pprof-addr", c.PprofAddr, "ops listener address for net/http/pprof (empty disables)")
+	fs.StringVar(&c.TraceFile, "trace", c.TraceFile, "file receiving buffered spans as NDJSON on shutdown (empty disables)")
+	fs.IntVar(&c.TraceBuffer, "trace-buffer", c.TraceBuffer, "span ring-buffer capacity (<=0 uses the default)")
 }
 
 // Validate rejects nonsensical configurations before anything listens.
@@ -87,6 +101,12 @@ func ListenAndServe(ctx context.Context, cfg Config, logw io.Writer) error {
 	supervised("http listener", errc, hs.ListenAndServe)
 	fmt.Fprintf(logw, "neurotestd listening on %s (queue %d, workers %d, cache %d bytes)\n",
 		cfg.Addr, cfg.QueueCapacity, cfg.Workers, cfg.CacheBytes)
+	if cfg.PprofAddr != "" {
+		ps := &http.Server{Addr: cfg.PprofAddr, Handler: pprofMux()}
+		defer ps.Close()
+		supervised("pprof listener", errc, ps.ListenAndServe)
+		fmt.Fprintf(logw, "neurotestd pprof on %s\n", cfg.PprofAddr)
+	}
 
 	select {
 	case err := <-errc:
@@ -96,8 +116,60 @@ func ListenAndServe(ctx context.Context, cfg Config, logw io.Writer) error {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Close() // cancel campaigns so streaming watchers terminate
-		return hs.Shutdown(sctx)
+		err := hs.Shutdown(sctx)
+		drainObservability(srv, cfg, logw)
+		return err
 	}
+}
+
+// pprofMux builds an explicit pprof mux so the profiles live only on the
+// ops listener, never on the public API mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// drainObservability runs after the listener stops: it flushes the span
+// ring to the configured trace file and logs the final counter totals, so
+// a terminated daemon leaves a post-mortem record.
+func drainObservability(srv *Server, cfg Config, logw io.Writer) {
+	if cfg.TraceFile != "" {
+		if err := writeTraceFile(cfg.TraceFile, srv.Recorder()); err != nil {
+			fmt.Fprintf(logw, "neurotestd: writing trace file: %v\n", err)
+		} else {
+			fmt.Fprintf(logw, "neurotestd: drained %d spans to %s (%d recorded in total)\n",
+				srv.Recorder().Len(), cfg.TraceFile, srv.Recorder().Total())
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap { //lint:ignore determinism keys are sorted before any order-dependent use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprint(logw, "neurotestd: final totals:")
+	for _, k := range keys {
+		fmt.Fprintf(logw, " %s=%d", k, snap[k])
+	}
+	fmt.Fprintln(logw)
+}
+
+// writeTraceFile dumps rec as NDJSON into path.
+func writeTraceFile(path string, rec interface{ WriteNDJSON(io.Writer) error }) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // supervised starts fn on its own goroutine behind a recover barrier: a

@@ -1,11 +1,18 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// Metrics holds the daemon's expvar-style counters. Every field is an
-// atomic so handlers, cache and workers bump them without locking; the
-// /metrics endpoint renders a point-in-time snapshot as flat JSON, with the
-// queue/cache gauges merged in by the server at render time.
+	"neurotest/internal/obs"
+)
+
+// Metrics holds the daemon's counters and latency histograms. Every counter
+// is an atomic so handlers, cache and workers bump them without locking; the
+// histograms are obs instruments whose methods are nil-safe, so a bare
+// &Metrics{} (as unit tests construct) records counters and silently drops
+// observations. The /metrics endpoint renders the typed registry as
+// Prometheus text by default and keeps the legacy flat-JSON snapshot at
+// ?format=json.
 type Metrics struct {
 	// HTTP traffic.
 	HTTPRequests atomic.Int64
@@ -27,6 +34,13 @@ type Metrics struct {
 
 	// Worker pool.
 	WorkersBusy atomic.Int64 // gauge: workers currently running a job
+
+	// Latency histograms (nil until register is called; Observe on nil
+	// histograms is a no-op).
+	ArtifactBuildSeconds *obs.Histogram // suite generation + encoding, miss path
+	GoldenBuildSeconds   *obs.Histogram // memoized golden-trace construction
+	QueueWaitSeconds     *obs.Histogram // job submit → start
+	JobRunSeconds        *obs.Histogram // job start → finish
 }
 
 // Snapshot returns the counters as a flat map for JSON rendering.
@@ -46,4 +60,39 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_cancelled":      m.JobsCancelled.Load(),
 		"workers_busy":        m.WorkersBusy.Load(),
 	}
+}
+
+// register wires the metrics into a typed obs registry: every atomic counter
+// becomes a scrape-time CounterFunc view (the atomics stay the single source
+// of truth, so the JSON snapshot and the Prometheus exposition can never
+// disagree), and the latency histograms are created here.
+func (m *Metrics) register(r *obs.Registry) {
+	view := func(a *atomic.Int64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	r.CounterFunc("neurotestd_http_requests_total", "HTTP requests received", view(&m.HTTPRequests))
+	r.CounterFunc("neurotestd_cache_hits_total", "suites served from a resident cache entry", view(&m.CacheHits))
+	r.CounterFunc("neurotestd_cache_misses_total", "suites that had to be computed", view(&m.CacheMisses))
+	r.CounterFunc("neurotestd_cache_evictions_total", "artifacts dropped by the LRU byte bound", view(&m.CacheEvictions))
+	r.CounterFunc("neurotestd_singleflight_dedups_total", "identical concurrent requests folded into one computation", view(&m.SingleflightDedups))
+	r.CounterFunc("neurotestd_suite_generations_total", "suite generation computations actually run", view(&m.SuiteGenerations))
+	r.CounterFunc("neurotestd_golden_builds_total", "ATE golden-trace constructions (memoization misses)", view(&m.GoldenBuilds))
+	r.CounterFunc("neurotestd_jobs_submitted_total", "campaign jobs accepted into the queue", view(&m.JobsSubmitted))
+	r.CounterFunc("neurotestd_jobs_rejected_total", "campaign jobs refused with 503 backpressure", view(&m.JobsRejected))
+	r.CounterFunc("neurotestd_jobs_finished_total", "campaign jobs by terminal state",
+		view(&m.JobsDone), obs.L("state", "done"))
+	r.CounterFunc("neurotestd_jobs_finished_total", "campaign jobs by terminal state",
+		view(&m.JobsFailed), obs.L("state", "failed"))
+	r.CounterFunc("neurotestd_jobs_finished_total", "campaign jobs by terminal state",
+		view(&m.JobsCancelled), obs.L("state", "cancelled"))
+	r.GaugeFunc("neurotestd_workers_busy", "workers currently running a job", view(&m.WorkersBusy))
+
+	m.ArtifactBuildSeconds = r.Histogram("neurotestd_artifact_build_seconds",
+		"suite generation and encoding latency on cache misses", nil)
+	m.GoldenBuildSeconds = r.Histogram("neurotestd_golden_build_seconds",
+		"memoized golden-trace construction latency", nil)
+	m.QueueWaitSeconds = r.Histogram("neurotestd_queue_wait_seconds",
+		"campaign job latency from submit to start", nil)
+	m.JobRunSeconds = r.Histogram("neurotestd_job_run_seconds",
+		"campaign job latency from start to finish", nil)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"neurotest/internal/obs"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue has no slot;
@@ -139,6 +141,14 @@ func (j *Job) start() bool {
 	j.started = now()
 	j.signalLocked()
 	return true
+}
+
+// queuedSeconds returns how long the job waited between submit and start —
+// the queue-wait latency the Retry-After estimator complements.
+func (j *Job) queuedSeconds() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started.Sub(j.created).Seconds()
 }
 
 // finish records the outcome of a run.
@@ -341,8 +351,11 @@ func (q *Queue) worker() {
 			q.metrics.JobsCancelled.Add(1)
 			continue
 		}
+		q.metrics.QueueWaitSeconds.Observe(j.queuedSeconds())
 		q.metrics.WorkersBusy.Add(1)
+		timer := obs.StartTimer()
 		result, err := runSafely(j)
+		timer.ObserveElapsed(q.metrics.JobRunSeconds)
 		q.metrics.WorkersBusy.Add(-1)
 		switch j.finish(result, err) {
 		case JobDone:

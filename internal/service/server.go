@@ -19,11 +19,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
 
 	"neurotest/internal/fault"
+	"neurotest/internal/obs"
 	"neurotest/internal/quant"
 	"neurotest/internal/snn"
 	"neurotest/internal/tester"
@@ -34,14 +36,17 @@ import (
 // maxRequestBody bounds request JSON (campaign descriptions are tiny).
 const maxRequestBody = 1 << 20
 
-// Server wires the cache, queue and metrics behind the HTTP API.
+// Server wires the cache, queue, metrics and trace recorder behind the
+// HTTP API.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	queue   *Queue
-	metrics *Metrics
-	mux     *http.ServeMux
-	started time.Time
+	cfg      Config
+	cache    *Cache
+	queue    *Queue
+	metrics  *Metrics
+	registry *obs.Registry
+	recorder *obs.Recorder
+	mux      *http.ServeMux
+	started  time.Time
 }
 
 // New builds a server (no listener; see Handler and ListenAndServe).
@@ -50,17 +55,54 @@ func New(cfg Config) *Server {
 		cfg.MaxWeights = DefaultConfig().MaxWeights
 	}
 	m := &Metrics{}
+	reg := obs.NewRegistry()
+	m.register(reg)
 	s := &Server{
-		cfg:     cfg,
-		metrics: m,
-		cache:   NewCache(cfg.CacheBytes, m),
-		queue:   NewQueue(cfg.QueueCapacity, cfg.Workers, m),
-		mux:     http.NewServeMux(),
-		started: now(),
+		cfg:      cfg,
+		metrics:  m,
+		registry: reg,
+		recorder: obs.NewRecorder(cfg.TraceBuffer),
+		cache:    NewCache(cfg.CacheBytes, m),
+		queue:    NewQueue(cfg.QueueCapacity, cfg.Workers, m),
+		mux:      http.NewServeMux(),
+		started:  now(),
 	}
+	s.registerGauges()
 	s.routes()
 	return s
 }
+
+// registerGauges wires the scrape-time views that need the live cache and
+// queue: residency, depth and capacity, plus process-level runtime health.
+func (s *Server) registerGauges() {
+	s.registry.GaugeFunc("neurotestd_cache_entries", "resident artifact cache entries",
+		func() float64 { entries, _ := s.cache.Stats(); return float64(entries) })
+	s.registry.GaugeFunc("neurotestd_cache_bytes", "encoded bytes held by the artifact cache",
+		func() float64 { _, bytes := s.cache.Stats(); return float64(bytes) })
+	s.registry.GaugeFunc("neurotestd_queue_depth", "campaign jobs waiting in the queue",
+		func() float64 { return float64(s.queue.Depth()) })
+	s.registry.GaugeFunc("neurotestd_queue_capacity", "bounded queue capacity",
+		func() float64 { return float64(s.queue.Capacity()) })
+	s.registry.GaugeFunc("neurotestd_workers", "configured campaign workers",
+		func() float64 { return float64(s.cfg.Workers) })
+	s.registry.GaugeFunc("neurotestd_uptime_seconds", "seconds since the server was constructed",
+		func() float64 { return now().Sub(s.started).Seconds() })
+	s.registry.GaugeFunc("neurotestd_trace_spans_buffered", "finished spans held by the trace ring",
+		func() float64 { return float64(s.recorder.Len()) })
+	s.registry.CounterFunc("neurotestd_trace_spans_total", "finished spans ever recorded",
+		func() float64 { return float64(s.recorder.Total()) })
+	obs.RegisterRuntimeGauges(s.registry)
+}
+
+// Registry exposes the server's instrument registry (shutdown reporting,
+// tests).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Recorder exposes the server's span recorder (shutdown trace drain, tests).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
+// Metrics exposes the server's counters (shutdown reporting, tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -85,6 +127,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 }
 
 // --- request shapes -------------------------------------------------------
@@ -314,11 +357,21 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submit(w, r, "coverage", func(ctx context.Context) (any, error) {
-		art, _, err := s.cache.Suite(spec)
+		// The trace ID derives from the artifact key, so re-running the same
+		// campaign yields the same trace and span IDs.
+		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|coverage"), "coverage")
+		defer root.End()
+		root.SetAttr("kind", spec.KindName())
+		_, gen := obs.StartSpan(ctx, "generate")
+		art, src, err := s.cache.Suite(spec)
+		gen.SetAttr("source", src.String())
+		gen.End()
 		if err != nil {
 			return nil, err
 		}
+		_, prog := obs.StartSpan(ctx, "program")
 		ate, err := art.ATE()
+		prog.End()
 		if err != nil {
 			return nil, err
 		}
@@ -373,11 +426,19 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submit(w, r, "sessions", func(ctx context.Context) (any, error) {
-		art, _, err := s.cache.Suite(spec)
+		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|sessions"), "sessions")
+		defer root.End()
+		root.SetAttr("profile", prof.String())
+		_, gen := obs.StartSpan(ctx, "generate")
+		art, src, err := s.cache.Suite(spec)
+		gen.SetAttr("source", src.String())
+		gen.End()
 		if err != nil {
 			return nil, err
 		}
+		_, prog := obs.StartSpan(ctx, "program")
 		base, err := art.ATE()
+		prog.End()
 		if err != nil {
 			return nil, err
 		}
@@ -427,12 +488,33 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// retryAfterSeconds estimates when a refused submission is worth retrying:
+// the backlog of waiting jobs times the observed mean job latency, spread
+// over the worker pool. With no latency history yet it falls back to 1s;
+// the estimate is clamped to [1s, 60s] so a pathological backlog never
+// tells clients to go away for hours.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.metrics.JobRunSeconds.Mean()
+	if mean <= 0 {
+		return 1
+	}
+	est := float64(s.queue.Depth()) * mean / float64(maxInt(1, s.cfg.Workers))
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
+}
+
 // submit enqueues a campaign body, answering 202 + job status, or 503 +
 // Retry-After under backpressure.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, run func(ctx context.Context) (any, error)) {
 	job, err := s.queue.Submit(kind, run)
 	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
 		httpError(w, http.StatusServiceUnavailable, "job queue full (capacity %d) — retry later", s.queue.Capacity())
 		return
 	}
@@ -513,7 +595,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the typed registry as Prometheus text by default and
+// keeps the pre-registry flat-JSON snapshot at ?format=json for existing
+// scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.handleMetricsJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	// The server's own instruments live in its registry; the campaign
+	// layers (tester, faultsim) register lazily in the process default.
+	// One scrape merges both.
+	obs.WriteText(w, s.registry, obs.Default())
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter) {
 	snap := s.metrics.Snapshot()
 	entries, bytes := s.cache.Stats()
 	snap["cache_entries"] = int64(entries)
@@ -527,6 +625,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	snap["uptime_seconds"] = int64(now().Sub(s.started).Seconds())
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraces streams the span ring buffer as NDJSON, oldest span first —
+// the phase timeline of every recent campaign, one JSON object per line.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	s.recorder.WriteNDJSON(w)
 }
 
 // --- plumbing -------------------------------------------------------------

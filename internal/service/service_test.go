@@ -190,7 +190,7 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Errorf("job listing: %+v", listing)
 	}
 	var metrics map[string]int64
-	getJSON(t, ts.URL+"/metrics", &metrics)
+	getJSON(t, ts.URL+"/metrics?format=json", &metrics)
 	if metrics["cache_hits"] < 1 || metrics["suite_generations"] != 2 || metrics["jobs_done"] != 1 {
 		t.Errorf("metrics after e2e: hits=%d generations=%d done=%d (want >=1, 2, 1)",
 			metrics["cache_hits"], metrics["suite_generations"], metrics["jobs_done"])
@@ -239,7 +239,7 @@ func TestServiceSingleflightOverHTTP(t *testing.T) {
 		}
 	}
 	var metrics map[string]int64
-	getJSON(t, ts.URL+"/metrics", &metrics)
+	getJSON(t, ts.URL+"/metrics?format=json", &metrics)
 	if metrics["suite_generations"] != 1 {
 		t.Errorf("suite_generations = %d, want 1 for %d racing requests", metrics["suite_generations"], n)
 	}
@@ -288,7 +288,7 @@ func TestServiceBackpressure(t *testing.T) {
 	}
 
 	var metrics map[string]int64
-	getJSON(t, ts.URL+"/metrics", &metrics)
+	getJSON(t, ts.URL+"/metrics?format=json", &metrics)
 	if metrics["jobs_rejected"] != 1 || metrics["queue_depth"] != 1 || metrics["workers_busy"] != 1 {
 		t.Errorf("backpressure metrics: rejected=%d depth=%d busy=%d",
 			metrics["jobs_rejected"], metrics["queue_depth"], metrics["workers_busy"])
@@ -336,7 +336,7 @@ func TestServiceCancelRunningCampaign(t *testing.T) {
 		t.Fatalf("cancelled campaign ended %q (%s)", st.State, st.Error)
 	}
 	var metrics map[string]int64
-	getJSON(t, ts.URL+"/metrics", &metrics)
+	getJSON(t, ts.URL+"/metrics?format=json", &metrics)
 	if metrics["jobs_cancelled"] != 1 {
 		t.Errorf("jobs_cancelled = %d, want 1", metrics["jobs_cancelled"])
 	}

@@ -3,7 +3,9 @@ package tester
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
@@ -118,7 +120,10 @@ func (r SessionReport) String() string {
 //
 // With prof = unreliable.Reliable() and the zero policy this is exactly
 // RunChip: first mismatch fails the chip, no retests, no quarantine.
-func (a *ATE) RunChipSession(mods *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) SessionReport {
+func (a *ATE) RunChipSession(mods *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) (rep0 SessionReport) {
+	ensureObs()
+	timer := obs.StartTimer()
+	defer func() { observeSession(timer, rep0) }()
 	sess := prof.NewSession(seed)
 	var errs *variation.ErrorTensor
 	if !vary.Zero() {
@@ -325,6 +330,12 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 	if n <= 0 {
 		return stats, ctx.Err()
 	}
+	ensureObs()
+	timer := obs.StartTimer()
+	defer func() { timer.ObserveElapsed(sessionsCampaignSeconds) }()
+	ctx, span := obs.StartSpan(ctx, "measure")
+	span.SetAttr("chips", strconv.Itoa(n))
+	defer span.End()
 	perChip := func(i int, w int) (rep SessionReport, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -338,13 +349,19 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 		return a.RunChipSession(m, prof, vary, policy, chipSeed(seed, i)), nil
 	}
 	results, done := runWorkersCtx(ctx, n, func(i, w int) SessionStats {
+		// Per-chip spans carry the binning verdict; distinct names give
+		// scheduling-independent span IDs under the concurrent pool.
+		_, chipSpan := obs.StartSpan(ctx, "chip-"+strconv.Itoa(i))
 		var local SessionStats
 		rep, err := perChip(i, w)
 		if err != nil {
 			local.Errors = append(local.Errors, err)
+			chipSpan.SetAttr("outcome", "error")
 		} else {
 			local.add(rep)
+			chipSpan.SetAttr("outcome", rep.Outcome.String())
 		}
+		chipSpan.End()
 		return local
 	})
 	for i, r := range results {

@@ -10,11 +10,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"neurotest/internal/fault"
 	"neurotest/internal/faultsim"
+	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/snn"
 	"neurotest/internal/stats"
@@ -259,6 +261,12 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 	if len(faults) == 0 {
 		return res, ctx.Err()
 	}
+	ensureObs()
+	timer := obs.StartTimer()
+	defer func() { timer.ObserveElapsed(coverageCampaignSeconds) }()
+	ctx, span := obs.StartSpan(ctx, "fault-simulate")
+	span.SetAttr("faults", strconv.Itoa(len(faults)))
+	defer span.End()
 	engines := make([]*faultsim.Engine, poolWorkers(len(faults)))
 	type verdict struct {
 		detected  bool
@@ -297,6 +305,7 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 			res.Undetected = append(res.Undetected, faults[i])
 		}
 	}
+	span.SetAttr("detected", strconv.Itoa(res.Detected))
 	return res, ctx.Err()
 }
 
@@ -356,6 +365,9 @@ func (a *ATE) countChips(op string, n int, pred func(i int, rng *stats.RNG) bool
 	if n <= 0 {
 		return 0, nil
 	}
+	ensureObs()
+	timer := obs.StartTimer()
+	defer func() { timer.ObserveElapsed(chipsCampaignSeconds) }()
 	type verdict struct {
 		hit bool
 		err error
@@ -420,6 +432,7 @@ func runWorkers[T any](n int, fn func(i, w int) T) []T {
 // run to completion). done[i] reports whether fn ran for index i — with an
 // uncancelled context every index is done.
 func runWorkersCtx[T any](ctx context.Context, n int, fn func(i, w int) T) (out []T, done []bool) {
+	ensureObs()
 	out = make([]T, n)
 	done = make([]bool, n)
 	workers := poolWorkers(n)
@@ -434,7 +447,10 @@ func runWorkersCtx[T any](ctx context.Context, n int, fn func(i, w int) T) (out 
 				if i >= n {
 					return
 				}
+				t := obs.StartTimer()
 				out[i] = fn(i, w)
+				t.ObserveElapsed(poolItemSeconds)
+				poolEvaluations.Inc()
 				done[i] = true
 			}
 		}(w)

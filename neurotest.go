@@ -16,6 +16,7 @@
 package neurotest
 
 import (
+	"context"
 	"fmt"
 
 	"neurotest/internal/compact"
@@ -221,11 +222,18 @@ func (m *Model) NewATE(ts *TestSet, scheme *QuantScheme) *ATE {
 // MeasureCoverage fault-simulates ts against the full universe of kind and
 // returns the coverage, optionally under quantization.
 func (m *Model) MeasureCoverage(kind FaultKind, ts *TestSet, scheme *QuantScheme) (CoverageResult, error) {
+	return m.MeasureCoverageContext(context.Background(), kind, ts, scheme)
+}
+
+// MeasureCoverageContext is MeasureCoverage with cooperative cancellation
+// and trace propagation: when ctx carries an obs span (see internal/obs),
+// the campaign's fault-simulation phase is recorded under it.
+func (m *Model) MeasureCoverageContext(ctx context.Context, kind FaultKind, ts *TestSet, scheme *QuantScheme) (CoverageResult, error) {
 	if ts == nil {
 		return CoverageResult{}, fmt.Errorf("neurotest: nil test set")
 	}
 	ate := m.NewATE(ts, scheme)
-	return ate.MeasureCoverage(m.Universe(kind), m.Values), nil
+	return ate.MeasureCoverageContext(ctx, m.Universe(kind), m.Values)
 }
 
 // Unreliable-chip session types re-exported from internal/unreliable and
