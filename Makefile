@@ -42,12 +42,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=10s ./internal/pattern
 
 # bench runs the performance suite — the paper-evaluation benchmarks in the
-# root package plus the internal/obs instrument micro-benches — and records
-# the machine-readable Go benchmark output under results/bench.txt.
-# Narrow with BENCH (regexp) or shorten with BENCHTIME (e.g. 10x).
+# root package plus the internal/obs instrument and internal/snn simulator
+# micro-benches — and records the machine-readable Go benchmark output under
+# results/bench.txt. Narrow with BENCH (regexp) or shorten with BENCHTIME
+# (e.g. 10x).
 BENCH ?= .
 BENCHTIME ?= 1s
-BENCHPKGS ?= . ./internal/obs
+BENCHPKGS ?= . ./internal/obs ./internal/snn
 bench:
 	@mkdir -p results
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem $(BENCHPKGS) | tee results/bench.txt

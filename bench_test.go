@@ -240,6 +240,44 @@ func bruteForceDetects(ts *neurotest.TestSet, values neurotest.FaultValues, f ne
 	return false
 }
 
+// BenchmarkCoverageCampaign measures a Table-5-class exhaustive campaign
+// (every ESF fault of the paper's 4-layer model) through the ATE worker
+// pool, in the two shapes the test floor actually runs it: "cold" builds
+// the test equipment per campaign (the first request for an artifact),
+// "warm" reuses one ATE across campaigns (repeated /v1/coverage requests
+// hitting a cached artifact — the neurotestd access pattern). The warm
+// shape is where the shared-Golden split pays: golden traces are simulated
+// once per ATE instead of once per campaign per worker, and downstream
+// memo entries survive across campaigns.
+func BenchmarkCoverageCampaign(b *testing.B) {
+	m := benchModel()
+	suite := mustSuite(b, m, neurotest.NoVariation())
+	ts := suite.PerKind[neurotest.ESF]
+	universe := m.Universe(neurotest.ESF)
+	run := func(b *testing.B, ate *tester.ATE) {
+		b.Helper()
+		cov := ate.MeasureCoverage(universe, m.Values)
+		if cov.Coverage() != 100 {
+			b.Fatalf("coverage %v", cov)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, tester.New(ts, nil))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ate := tester.New(ts, nil)
+		run(b, ate) // prime golden traces the way a resident artifact is primed
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, ate)
+		}
+	})
+}
+
 // BenchmarkObsOverhead_CoverageCampaign bounds the cost of the
 // observability layer on a Table-5-class exhaustive campaign (all ESF
 // faults of the paper's 4-layer model): an untraced run pays only the

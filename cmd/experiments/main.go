@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"neurotest/internal/experiments"
+	"neurotest/internal/faultsim"
 	"neurotest/internal/obs"
 	"neurotest/internal/report"
 )
@@ -86,6 +87,7 @@ func main() {
 	}
 
 	start := time.Now()
+	simBefore := faultsim.Snapshot()
 	if wantTable("3") {
 		phase("table3", func(context.Context) {
 			runner.Table3().Render(os.Stdout)
@@ -139,6 +141,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", rec.Len(), *traceOut)
+	}
+	// Fault-simulation efficiency for the whole run: how many shared
+	// goldens were built (one per campaign, independent of worker count)
+	// and how well the downstream memo amortized re-simulation.
+	sim := faultsim.Snapshot()
+	sim.GoldenBuilds -= simBefore.GoldenBuilds
+	sim.FaultsSimulated -= simBefore.FaultsSimulated
+	sim.MemoHits -= simBefore.MemoHits
+	sim.MemoMisses -= simBefore.MemoMisses
+	if sim.FaultsSimulated > 0 {
+		fmt.Fprintf(os.Stderr, "faultsim: %d goldens built, %d faults evaluated, memo hit ratio %.1f%%\n",
+			sim.GoldenBuilds, sim.FaultsSimulated, 100*sim.HitRatio())
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
 }

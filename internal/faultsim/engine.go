@@ -3,7 +3,8 @@
 //
 // A naive campaign re-simulates the whole network for every (fault, item)
 // pair — about 10^12 multiply-accumulates for the paper's synapse-fault
-// universes. The Engine here exploits the single-fault assumption instead:
+// universes. The simulator here exploits the single-fault assumption
+// instead:
 //
 //  1. For each test item it simulates the good chip once, recording every
 //     neuron's spike train and per-timestep weighted input sum.
@@ -17,11 +18,27 @@
 //
 // The result is an exact, bit-identical replacement for brute-force
 // simulation (asserted by tests) at a tiny fraction of the cost.
+//
+// The work splits across two types so parallel campaigns never repeat it:
+//
+//   - Golden holds everything derived from the test set alone — transformed
+//     configurations, per-item activity traces, golden results and the
+//     downstream memo. It is built once per campaign, is immutable except
+//     for the memo (sharded per item, mutex-guarded), and is safe for any
+//     number of concurrent readers.
+//   - Evaluator holds the per-goroutine scratch buffers one fault
+//     evaluation needs. Evaluators are cheap (a handful of slices), so a
+//     worker pool builds one per slot and discards it freely — for example
+//     after recovering a panic — without losing the goldens or the memo.
+//
+// New keeps the historical single-goroutine Engine shape as a thin wrapper:
+// one Golden plus one Evaluator.
 package faultsim
 
 import (
 	"context"
 	"math/bits"
+	"sync"
 
 	"neurotest/internal/fault"
 	"neurotest/internal/margin"
@@ -37,44 +54,59 @@ type memoKey struct {
 	train uint64
 }
 
-// itemCtx holds the cached good simulation of one test item.
-type itemCtx struct {
+// memoShard is one item's slice of the campaign-wide downstream memo. One
+// shard per item keeps contention low (evaluations of different items never
+// share a lock) and the critical sections are map-access only — the
+// downstream re-simulation itself runs lock-free on evaluator scratch, so a
+// recovered worker panic can never leave a shard locked. Two workers may
+// race to compute the same entry; both derive the same deterministic value,
+// so the second store is a harmless overwrite.
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[memoKey]bool
+}
+
+func (s *memoShard) lookup(k memoKey) (det, ok bool) {
+	s.mu.RLock()
+	det, ok = s.m[k]
+	s.mu.RUnlock()
+	return det, ok
+}
+
+func (s *memoShard) store(k memoKey, det bool) {
+	s.mu.Lock()
+	s.m[k] = det
+	s.mu.Unlock()
+}
+
+// goldenItem holds the cached good simulation of one test item plus that
+// item's memo shard.
+type goldenItem struct {
 	item   pattern.Item
 	net    *snn.Network
 	trace  *snn.Trace
 	golden snn.Result
-	memo   map[memoKey]bool
+	memo   memoShard
 }
 
-// Engine evaluates faults against one test set.
-type Engine struct {
-	ts     *pattern.TestSet
-	values fault.Values
-	items  []itemCtx
-	// scratch buffers for downstream re-simulation and delta integration
-	mp     [][]float64
-	spikes [][]bool
-	delta  []float64
-	// engine-local memo statistics, flushed to the obs counters once per
-	// fault evaluation (engines are single-goroutine worker scratch, so
-	// plain ints suffice on the hot path)
-	pendingMemoHits   int
-	pendingMemoMisses int
+// Golden is the shared, read-mostly half of the incremental fault
+// simulator: transformed configurations, per-item golden traces and
+// results, and the sharded downstream memo. Build it once per campaign
+// with NewGolden, then hand each worker its own Evaluator.
+type Golden struct {
+	ts    *pattern.TestSet
+	items []goldenItem
 }
 
-// ConfigTransform optionally rewrites each test configuration before
-// simulation — e.g. quantizing it the way the chip's weight memory would.
-// nil means "use the configuration as generated".
-type ConfigTransform func(*snn.Network) *snn.Network
-
-// New builds an engine: it runs and caches the good-chip simulation of every
-// item in ts. transform, when non-nil, is applied once per configuration.
-func New(ts *pattern.TestSet, values fault.Values, transform ConfigTransform) *Engine {
+// NewGolden runs and caches the good-chip simulation of every item in ts.
+// transform, when non-nil, is applied once per configuration. The returned
+// Golden is safe for concurrent use by any number of Evaluators.
+func NewGolden(ts *pattern.TestSet, transform ConfigTransform) *Golden {
 	ensureObs()
 	timer := obs.StartTimer()
 	defer func() { timer.ObserveElapsed(engineBuilds) }()
-	e := &Engine{ts: ts, values: values}
-	arch := ts.Arch
+	goldenBuilds.Inc()
+	g := &Golden{ts: ts}
 	// Transform each distinct configuration once.
 	nets := make([]*snn.Network, len(ts.Configs))
 	sims := make([]*snn.Simulator, len(ts.Configs))
@@ -86,18 +118,53 @@ func New(ts *pattern.TestSet, values fault.Values, transform ConfigTransform) *E
 		}
 		sims[i] = snn.NewSimulator(nets[i])
 	}
+	g.items = make([]goldenItem, 0, len(ts.Items))
 	for _, it := range ts.Items {
 		sim := sims[it.ConfigIndex]
 		golden, trace := sim.RunTrace(it.Pattern, it.Timesteps, it.Mode(), nil)
-		e.items = append(e.items, itemCtx{
+		g.items = append(g.items, goldenItem{
 			item:   it,
 			net:    nets[it.ConfigIndex],
 			trace:  trace,
 			golden: golden,
-			memo:   make(map[memoKey]bool),
+			memo:   memoShard{m: make(map[memoKey]bool)},
 		})
 	}
+	return g
+}
+
+// NumItems returns the number of items in the golden's test set.
+func (g *Golden) NumItems() int { return len(g.items) }
+
+// TestSet returns the test set the golden was built from.
+func (g *Golden) TestSet() *pattern.TestSet { return g.ts }
+
+// Evaluator evaluates faults against a shared Golden. It holds only the
+// scratch buffers of one in-flight evaluation, so it is cheap to build and
+// to throw away, but — unlike the Golden it reads — it must stay confined
+// to a single goroutine.
+type Evaluator struct {
+	g      *Golden
+	values fault.Values
+	// scratch buffers for downstream re-simulation and delta integration
+	mp     [][]float64
+	spikes [][]bool
+	delta  []float64
+	counts []int
+	// evaluator-local memo statistics, flushed to the obs counters once per
+	// fault evaluation (evaluators are single-goroutine worker scratch, so
+	// plain ints suffice on the hot path)
+	pendingMemoHits   int
+	pendingMemoMisses int
+}
+
+// NewEvaluator returns a fresh evaluator over g. values parameterizes the
+// fault models (θ̂, ω̂); the golden traces and the memo are independent of
+// them, so evaluators with different values may share one Golden.
+func (g *Golden) NewEvaluator(values fault.Values) *Evaluator {
+	arch := g.ts.Arch
 	L := arch.Layers()
+	e := &Evaluator{g: g, values: values}
 	e.mp = make([][]float64, L)
 	e.spikes = make([][]bool, L)
 	for k := 0; k < L; k++ {
@@ -105,26 +172,49 @@ func New(ts *pattern.TestSet, values fault.Values, transform ConfigTransform) *E
 		e.spikes[k] = make([]bool, arch[k])
 	}
 	e.delta = make([]float64, snn.MaxTimesteps)
+	e.counts = make([]int, arch[L-1])
 	return e
 }
 
-// DetectsOnItem reports whether item idx alone detects f. The baseline
-// generators use this to build detection matrices for greedy selection.
-func (e *Engine) DetectsOnItem(f fault.Fault, idx int) bool {
-	return e.detectsOn(&e.items[idx], f)
+// Engine is the historical single-goroutine view of the simulator: a
+// Golden and an Evaluator rolled into one value. It is an alias of
+// Evaluator, so every existing call site keeps compiling and behaving
+// bit-identically; parallel campaigns should build one Golden and one
+// Evaluator per worker instead.
+type Engine = Evaluator
+
+// ConfigTransform optionally rewrites each test configuration before
+// simulation — e.g. quantizing it the way the chip's weight memory would.
+// nil means "use the configuration as generated".
+type ConfigTransform func(*snn.Network) *snn.Network
+
+// New builds an engine: it runs and caches the good-chip simulation of every
+// item in ts. transform, when non-nil, is applied once per configuration.
+func New(ts *pattern.TestSet, values fault.Values, transform ConfigTransform) *Engine {
+	return NewGolden(ts, transform).NewEvaluator(values)
 }
 
-// NumItems returns the number of items in the engine's test set.
-func (e *Engine) NumItems() int { return len(e.items) }
+// Golden returns the shared golden half the evaluator reads.
+func (e *Evaluator) Golden() *Golden { return e.g }
 
-// TestSet returns the test set the engine simulates.
-func (e *Engine) TestSet() *pattern.TestSet { return e.ts }
+// DetectsOnItem reports whether item idx alone detects f. The baseline
+// generators use this to build detection matrices for greedy selection.
+func (e *Evaluator) DetectsOnItem(f fault.Fault, idx int) bool {
+	defer e.flushObs()
+	return e.detectsOn(&e.g.items[idx], f)
+}
+
+// NumItems returns the number of items in the evaluator's test set.
+func (e *Evaluator) NumItems() int { return e.g.NumItems() }
+
+// TestSet returns the test set the evaluator simulates.
+func (e *Evaluator) TestSet() *pattern.TestSet { return e.g.ts }
 
 // Detects reports whether any item of the test set detects f.
-func (e *Engine) Detects(f fault.Fault) bool { return e.DetectingItem(f) >= 0 }
+func (e *Evaluator) Detects(f fault.Fault) bool { return e.DetectingItem(f) >= 0 }
 
 // DetectingItem returns the index of the first item that detects f, or -1.
-func (e *Engine) DetectingItem(f fault.Fault) int {
+func (e *Evaluator) DetectingItem(f fault.Fault) int {
 	i, _ := e.DetectingItemContext(context.Background(), f)
 	return i
 }
@@ -133,20 +223,20 @@ func (e *Engine) DetectingItem(f fault.Fault) int {
 // checks ctx between items, so a long campaign stops promptly when its
 // context is cancelled. The returned error is ctx.Err() on cancellation and
 // nil otherwise.
-func (e *Engine) DetectsContext(ctx context.Context, f fault.Fault) (bool, error) {
+func (e *Evaluator) DetectsContext(ctx context.Context, f fault.Fault) (bool, error) {
 	i, err := e.DetectingItemContext(ctx, f)
 	return i >= 0, err
 }
 
 // DetectingItemContext is DetectingItem with cooperative cancellation. On
 // cancellation it returns (-1, ctx.Err()) without finishing the scan.
-func (e *Engine) DetectingItemContext(ctx context.Context, f fault.Fault) (int, error) {
+func (e *Evaluator) DetectingItemContext(ctx context.Context, f fault.Fault) (int, error) {
 	defer e.flushObs()
-	for i := range e.items {
+	for i := range e.g.items {
 		if err := ctx.Err(); err != nil {
 			return -1, err
 		}
-		if e.detectsOn(&e.items[i], f) {
+		if e.detectsOn(&e.g.items[i], f) {
 			return i, nil
 		}
 	}
@@ -154,7 +244,7 @@ func (e *Engine) DetectingItemContext(ctx context.Context, f fault.Fault) (int, 
 }
 
 // Coverage returns how many of the given faults the test set detects.
-func (e *Engine) Coverage(faults []fault.Fault) int {
+func (e *Evaluator) Coverage(faults []fault.Fault) int {
 	n := 0
 	for _, f := range faults {
 		if e.Detects(f) {
@@ -165,7 +255,7 @@ func (e *Engine) Coverage(faults []fault.Fault) int {
 }
 
 // Undetected returns the subset of faults no item detects, preserving order.
-func (e *Engine) Undetected(faults []fault.Fault) []fault.Fault {
+func (e *Evaluator) Undetected(faults []fault.Fault) []fault.Fault {
 	var out []fault.Fault
 	for _, f := range faults {
 		if !e.Detects(f) {
@@ -176,7 +266,7 @@ func (e *Engine) Undetected(faults []fault.Fault) []fault.Fault {
 }
 
 // detectsOn evaluates one fault against one cached item.
-func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
+func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
 	var layer, index int
 	var faultyTrain uint64
 	T := ic.item.Timesteps
@@ -186,12 +276,21 @@ func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
 	case fault.NASF:
 		layer, index = f.Neuron.Layer, f.Neuron.Index
 		faultyTrain = full
-	case fault.ESF:
+	case fault.ESF, fault.HSF:
 		layer, index = f.Neuron.Layer, f.Neuron.Index
-		faultyTrain = e.reintegrate(ic, layer, index, e.values.ESFTheta, nil)
-	case fault.HSF:
-		layer, index = f.Neuron.Layer, f.Neuron.Index
-		faultyTrain = e.reintegrate(ic, layer, index, e.values.HSFTheta, nil)
+		if layer == 0 {
+			// Input neurons have no threshold: the paper's universe
+			// (Section 3.2) excludes input-layer threshold faults, and the
+			// simulator's Modifiers contract ignores them, so such a fault
+			// is behaviourally inert. Report it undetectable instead of
+			// indexing the input layer's nonexistent weighted-sum trace.
+			return false
+		}
+		theta := e.values.ESFTheta
+		if f.Kind == fault.HSF {
+			theta = e.values.HSFTheta
+		}
+		faultyTrain = e.reintegrate(ic, layer, index, theta, nil)
 	case fault.SWF:
 		layer, index = f.Synapse.Boundary+1, f.Synapse.Post
 		w := ic.net.Entry(f.Synapse.Boundary, f.Synapse.Pre, f.Synapse.Post)
@@ -241,7 +340,7 @@ func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
 	if faultyTrain == goodTrain {
 		return false
 	}
-	L := e.ts.Arch.Layers()
+	L := e.g.ts.Arch.Layers()
 	if layer == L-1 {
 		// The deviating neuron is a primary output: detection compares
 		// spike counts directly.
@@ -253,9 +352,9 @@ func (e *Engine) detectsOn(ic *itemCtx, f fault.Fault) bool {
 // reintegrate recomputes the spike train of neuron (layer, index) from the
 // recorded weighted input sums, with an optional per-timestep input delta
 // and the given threshold. Cost is O(T).
-func (e *Engine) reintegrate(ic *itemCtx, layer, index int, theta float64, delta []float64) uint64 {
+func (e *Evaluator) reintegrate(ic *goldenItem, layer, index int, theta float64, delta []float64) uint64 {
 	T := ic.item.Timesteps
-	width := e.ts.Arch[layer]
+	width := e.g.ts.Arch[layer]
 	leak := ic.net.Params.Leak
 	subtract := ic.net.Params.Reset == snn.ResetSubtract
 	y := ic.trace.Y[layer]
@@ -282,16 +381,17 @@ func (e *Engine) reintegrate(ic *itemCtx, layer, index int, theta float64, delta
 // downstream re-simulates layers layer+1..L-1 with neuron (layer, index)
 // forced to faultyTrain and every other neuron of that layer replaying its
 // recorded good train, then compares primary-output counts against the
-// golden result. Results are memoized per item.
-func (e *Engine) downstream(ic *itemCtx, layer, index int, faultyTrain uint64) bool {
+// golden result. Results are memoized per item, shared across every
+// evaluator of the Golden.
+func (e *Evaluator) downstream(ic *goldenItem, layer, index int, faultyTrain uint64) bool {
 	key := memoKey{layer: layer, index: index, train: faultyTrain}
-	if det, ok := ic.memo[key]; ok {
+	if det, ok := ic.memo.lookup(key); ok {
 		e.pendingMemoHits++
 		return det
 	}
 	e.pendingMemoMisses++
 
-	arch := e.ts.Arch
+	arch := e.g.ts.Arch
 	L := arch.Layers()
 	T := ic.item.Timesteps
 	theta := ic.net.Params.Theta
@@ -303,7 +403,11 @@ func (e *Engine) downstream(ic *itemCtx, layer, index int, faultyTrain uint64) b
 			e.mp[k][j] = 0
 		}
 	}
-	counts := make([]int, arch[L-1])
+	counts := e.counts
+	for j := range counts {
+		counts[j] = 0
+	}
+	golden := ic.golden.SpikeCounts
 	goodX := ic.trace.X[layer]
 
 	for t := 0; t < T; t++ {
@@ -350,18 +454,26 @@ func (e *Engine) downstream(ic *itemCtx, layer, index int, faultyTrain uint64) b
 		for j, sp := range e.spikes[L-1] {
 			if sp {
 				counts[j]++
+				if counts[j] > golden[j] {
+					// Output spike counts are monotone nondecreasing in t,
+					// so an overshoot can never fall back to the golden
+					// count: the remaining timesteps cannot change the
+					// verdict.
+					ic.memo.store(key, true)
+					return true
+				}
 			}
 		}
 	}
 
 	detected := false
 	for j, c := range counts {
-		if c != ic.golden.SpikeCounts[j] {
+		if c != golden[j] {
 			detected = true
 			break
 		}
 	}
-	ic.memo[key] = detected
+	ic.memo.store(key, detected)
 	return detected
 }
 

@@ -1,0 +1,136 @@
+package faultsim
+
+import (
+	"sync"
+	"testing"
+
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+)
+
+// statsDelta subtracts two snapshots field-wise.
+func statsDelta(after, before Stats) Stats {
+	return Stats{
+		GoldenBuilds:    after.GoldenBuilds - before.GoldenBuilds,
+		FaultsSimulated: after.FaultsSimulated - before.FaultsSimulated,
+		MemoHits:        after.MemoHits - before.MemoHits,
+		MemoMisses:      after.MemoMisses - before.MemoMisses,
+	}
+}
+
+// TestDetectsOnItemFlushesObs pins the accounting fix: DetectsOnItem used to
+// bypass flushObs, so a matrix-building workload (the greedy generators'
+// access pattern) under-reported faults simulated and leaked memo statistics
+// in the evaluator's pending fields. A DetectsOnItem-only workload over a
+// one-item set must publish exactly what the equivalent DetectingItem
+// workload publishes.
+func TestDetectsOnItemFlushesObs(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{4, 3, 2}
+	ts := randomTestSet(arch, 1, 1, 11)
+	universe := fault.Universe(arch, fault.SWF)
+
+	e1 := New(ts, values, nil)
+	before := Snapshot()
+	for _, f := range universe {
+		e1.DetectsOnItem(f, 0)
+	}
+	onItem := statsDelta(Snapshot(), before)
+	if e1.pendingMemoHits != 0 || e1.pendingMemoMisses != 0 {
+		t.Errorf("pending stats not flushed: hits=%d misses=%d",
+			e1.pendingMemoHits, e1.pendingMemoMisses)
+	}
+	if onItem.FaultsSimulated != int64(len(universe)) {
+		t.Errorf("faults simulated = %d, want %d (one per DetectsOnItem call)",
+			onItem.FaultsSimulated, len(universe))
+	}
+
+	// Same workload through the scanning API on a fresh engine: with a single
+	// item the two paths do identical work, so the published memo statistics
+	// must agree.
+	e2 := New(ts, values, nil)
+	before = Snapshot()
+	for _, f := range universe {
+		e2.DetectingItem(f)
+	}
+	scan := statsDelta(Snapshot(), before)
+	if onItem.MemoHits != scan.MemoHits || onItem.MemoMisses != scan.MemoMisses {
+		t.Errorf("DetectsOnItem published hits=%d misses=%d; DetectingItem published hits=%d misses=%d",
+			onItem.MemoHits, onItem.MemoMisses, scan.MemoHits, scan.MemoMisses)
+	}
+	if onItem.FaultsSimulated != scan.FaultsSimulated {
+		t.Errorf("faults simulated: on-item %d != scan %d", onItem.FaultsSimulated, scan.FaultsSimulated)
+	}
+}
+
+// TestInputLayerThresholdFaultsUndetectable pins the layer-0 guard: the
+// paper's universe (Section 3.2) has no input-layer threshold faults — input
+// neurons have no threshold — but the engine must stay total over manually
+// constructed ones instead of indexing the input layer's nonexistent
+// weighted-sum trace. Brute force agrees: the simulator ignores input-layer
+// threshold overrides, so such a fault is behaviourally inert.
+func TestInputLayerThresholdFaultsUndetectable(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{4, 3, 2}
+	ts := randomTestSet(arch, 2, 3, 23)
+	eng := New(ts, values, nil)
+	for _, kind := range []fault.Kind{fault.ESF, fault.HSF} {
+		for i := 0; i < arch[0]; i++ {
+			f := fault.NewNeuronFault(kind, snn.NeuronID{Layer: 0, Index: i})
+			if eng.Detects(f) {
+				t.Errorf("%v: input-layer threshold fault reported detected", f)
+			}
+			if bruteForce(ts, values, f) {
+				t.Errorf("%v: brute force disagrees that the fault is inert", f)
+			}
+		}
+	}
+}
+
+// TestConcurrentEvaluatorsShareGolden is the shared-Golden contract: one
+// NewGolden call, many evaluators on separate goroutines racing over the
+// same items and memo shards, and every verdict identical to a serial
+// engine. Run under -race this also gates the memo's locking discipline.
+func TestConcurrentEvaluatorsShareGolden(t *testing.T) {
+	values := fault.PaperValues(0.5)
+	arch := snn.Arch{5, 4, 3, 2}
+	ts := randomTestSet(arch, 2, 3, 31)
+	var universe []fault.Fault
+	for _, kind := range fault.Kinds() {
+		universe = append(universe, fault.Universe(arch, kind)...)
+	}
+
+	serial := New(ts, values, nil)
+	want := make([]bool, len(universe))
+	for i, f := range universe {
+		want[i] = serial.Detects(f)
+	}
+
+	before := Snapshot()
+	g := NewGolden(ts, nil)
+	const workers = 4
+	got := make([]bool, len(universe))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := g.NewEvaluator(values)
+			// Strided split: workers interleave over the universe so every
+			// worker touches every item's memo shard.
+			for i := w; i < len(universe); i += workers {
+				got[i] = e.Detects(universe[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, f := range universe {
+		if got[i] != want[i] {
+			t.Errorf("%v: concurrent=%v serial=%v", f, got[i], want[i])
+		}
+	}
+	if d := Snapshot().GoldenBuilds - before.GoldenBuilds; d != 1 {
+		t.Errorf("golden builds = %d, want 1 regardless of worker count", d)
+	}
+}

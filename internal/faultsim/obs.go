@@ -16,6 +16,7 @@ var (
 	faultsSimulated *obs.Counter
 	memoHits        *obs.Counter
 	memoMisses      *obs.Counter
+	goldenBuilds    *obs.Counter
 	engineBuilds    *obs.Histogram
 )
 
@@ -38,13 +39,50 @@ func ensureObs() {
 				}
 				return float64(h) / float64(h+m)
 			})
+		goldenBuilds = r.Counter("faultsim_golden_builds_total",
+			"shared Goldens built (good-chip traces simulated); one per campaign, not per worker")
 		engineBuilds = r.Histogram("faultsim_engine_build_seconds",
-			"good-chip simulation and trace caching when an engine is built", nil)
+			"good-chip simulation and trace caching when a shared Golden is built", nil)
 	})
 }
 
+// Stats is a point-in-time snapshot of the package's process-wide fault
+// simulation counters, for efficiency reporting (cmd/experiments) and for
+// tests asserting that goldens are simulated exactly once per campaign.
+type Stats struct {
+	// GoldenBuilds counts NewGolden calls (each simulates every item's
+	// good-chip trace once).
+	GoldenBuilds int64
+	// FaultsSimulated counts completed fault evaluations.
+	FaultsSimulated int64
+	// MemoHits and MemoMisses count downstream re-simulations avoided by /
+	// charged to the shared (layer, neuron, train) memo.
+	MemoHits   int64
+	MemoMisses int64
+}
+
+// HitRatio returns the fraction of downstream lookups served from the memo.
+func (s Stats) HitRatio() float64 {
+	if s.MemoHits+s.MemoMisses == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(s.MemoHits+s.MemoMisses)
+}
+
+// Snapshot reads the current counter values. Subtract two snapshots to
+// meter one campaign.
+func Snapshot() Stats {
+	ensureObs()
+	return Stats{
+		GoldenBuilds:    goldenBuilds.Value(),
+		FaultsSimulated: faultsSimulated.Value(),
+		MemoHits:        memoHits.Value(),
+		MemoMisses:      memoMisses.Value(),
+	}
+}
+
 // flushObs publishes one evaluation's accumulated memo statistics.
-func (e *Engine) flushObs() {
+func (e *Evaluator) flushObs() {
 	ensureObs()
 	faultsSimulated.Inc()
 	if e.pendingMemoHits > 0 {

@@ -160,7 +160,11 @@ func (a *Artifact) TestSet() *pattern.TestSet { return a.ts }
 // ATE returns the memoized test equipment for the artifact: golden
 // responses are simulated once per artifact (the "memoized good traces" of
 // the cache) and shared by every campaign job that hits the same key. The
-// returned ATE has tolerance 0; campaigns needing a pass band take a
+// ATE in turn memoizes its faultsim.Golden (transformed networks, full
+// good-chip traces and the shared downstream memo), so repeated coverage
+// jobs on the same artifact — including tolerance-sweep clones — skip
+// golden simulation entirely and start from a warm memo. The returned ATE
+// has tolerance 0; campaigns needing a pass band take a
 // CloneWithTolerance, never mutating the shared instance.
 func (a *Artifact) ATE() (*tester.ATE, error) {
 	a.ateOnce.Do(func() {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"neurotest/internal/faultsim"
 	"neurotest/internal/pattern"
 )
 
@@ -202,6 +203,39 @@ func TestServiceEndToEnd(t *testing.T) {
 	var health map[string]any
 	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK || health["status"] != "ok" {
 		t.Errorf("healthz: HTTP %d, %v", resp.StatusCode, health)
+	}
+}
+
+func TestCoverageJobsShareGolden(t *testing.T) {
+	// Repeated campaign jobs on one artifact must simulate the good-chip
+	// traces exactly once: the cached ATE memoizes its faultsim.Golden, and
+	// tolerance clones (sessions jobs) share it rather than rebuilding.
+	_, ts := newTestServer(t, testConfig())
+	before := faultsim.Snapshot()
+	for i := 0; i < 2; i++ {
+		var job JobStatus
+		resp := postJSON(t, ts.URL+"/v1/coverage", `{"arch":[10,6,4],"kind":"ESF"}`, &job)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("coverage submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		done := pollJob(t, ts.URL, job.ID)
+		if done.State != "done" {
+			t.Fatalf("coverage job %d ended %q (%s)", i, done.State, done.Error)
+		}
+		if cov := resultField(t, done, "coverage_pct"); cov != 100.0 {
+			t.Errorf("coverage job %d = %v%%, want 100", i, cov)
+		}
+	}
+	var job JobStatus
+	resp := postJSON(t, ts.URL+"/v1/sessions", `{"arch":[10,6,4],"kind":"ESF","chips":2,"tolerance":1}`, &job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sessions submit: HTTP %d", resp.StatusCode)
+	}
+	if done := pollJob(t, ts.URL, job.ID); done.State != "done" {
+		t.Fatalf("sessions job ended %q (%s)", done.State, done.Error)
+	}
+	if delta := faultsim.Snapshot().GoldenBuilds - before.GoldenBuilds; delta != 1 {
+		t.Errorf("golden builds across three jobs on one artifact = %d, want 1", delta)
 	}
 }
 

@@ -139,6 +139,13 @@ type Simulator struct {
 	mp     [][]float64
 	spikes [][]bool
 	y      [][]float64
+	// dense per-layer views of the neuron-level modifier maps, rebuilt once
+	// per run when the maps are non-empty (see projectMods): the hot sweep
+	// then pays one slice read per neuron per timestep instead of two map
+	// lookups — the difference shows on every escape/overkill chip run,
+	// which simulates the whole network with a one-entry modifier set.
+	thOverride [][]float64
+	force      [][]bool
 }
 
 // NewSimulator returns a simulator bound to net. The network may be mutated
@@ -149,12 +156,50 @@ func NewSimulator(net *Network) *Simulator {
 	s.mp = make([][]float64, L)
 	s.spikes = make([][]bool, L)
 	s.y = make([][]float64, L)
+	s.thOverride = make([][]float64, L)
+	s.force = make([][]bool, L)
 	for k := 0; k < L; k++ {
 		s.mp[k] = make([]float64, net.Arch[k])
 		s.spikes[k] = make([]bool, net.Arch[k])
 		s.y[k] = make([]float64, net.Arch[k])
+		s.thOverride[k] = make([]float64, net.Arch[k])
+		s.force[k] = make([]bool, net.Arch[k])
 	}
 	return s
+}
+
+// projectMods fills the dense modifier views from the sparse maps and
+// reports which views the sweep must consult. Filling is O(neurons) once
+// per run, against O(neurons × timesteps) map lookups saved.
+func (s *Simulator) projectMods(mods *Modifiers, theta float64) (denseTh, denseForce bool) {
+	if mods == nil {
+		return false, false
+	}
+	if len(mods.ThresholdOverride) > 0 {
+		denseTh = true
+		for k := 1; k < len(s.thOverride); k++ {
+			th := s.thOverride[k]
+			for j := range th {
+				th[j] = theta
+			}
+		}
+		for id, o := range mods.ThresholdOverride {
+			s.thOverride[id.Layer][id.Index] = o
+		}
+	}
+	if len(mods.ForceSpike) > 0 {
+		denseForce = true
+		for k := range s.force {
+			f := s.force[k]
+			for j := range f {
+				f[j] = false
+			}
+		}
+		for id := range mods.ForceSpike {
+			s.force[id.Layer][id.Index] = true
+		}
+	}
+	return denseTh, denseForce
 }
 
 // Network returns the network the simulator is bound to.
@@ -197,6 +242,7 @@ func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Mo
 	theta := s.net.Params.Theta
 	leak := s.net.Params.Leak
 	subtract := s.net.Params.Reset == ResetSubtract
+	denseTh, denseForce := s.projectMods(mods, theta)
 
 	var trace *Trace
 	if wantTrace {
@@ -220,10 +266,10 @@ func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Mo
 		for i := range in {
 			in[i] = active && pattern[i]
 		}
-		if mods != nil {
-			for id := range mods.ForceSpike {
-				if id.Layer == 0 {
-					in[id.Index] = true
+		if denseForce {
+			for i, forced := range s.force[0] {
+				if forced {
+					in[i] = true
 				}
 			}
 		}
@@ -282,13 +328,11 @@ func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Mo
 			for j := 0; j < nOut; j++ {
 				mp[j] = leak*mp[j] + y[j]
 				th := theta
-				if mods != nil && len(mods.ThresholdOverride) > 0 {
-					if o, ok := mods.ThresholdOverride[NeuronID{Layer: k, Index: j}]; ok {
-						th = o
-					}
+				if denseTh {
+					th = s.thOverride[k][j]
 				}
 				fired := mp[j] > th
-				if mods != nil && mods.ForceSpike[NeuronID{Layer: k, Index: j}] {
+				if denseForce && s.force[k][j] {
 					fired = true
 				}
 				out[j] = fired

@@ -1,0 +1,101 @@
+package snn
+
+import "testing"
+
+// benchNet builds the paper's 4-layer evaluation network with uniform
+// mid-scale weights so every layer carries activity (a silent network would
+// make the sweep trivially cheap and hide the per-neuron costs).
+func benchNet() *Network {
+	params := DefaultParams()
+	net := New(Arch{576, 256, 32, 10}, params)
+	net.Fill(params.Theta / 8)
+	return net
+}
+
+// BenchmarkRunGoodChip is the defect-free reference sweep: the simulator
+// primitive behind golden responses and overkill campaigns.
+func BenchmarkRunGoodChip(b *testing.B) {
+	net := benchNet()
+	sim := NewSimulator(net)
+	p := OnesPattern(net.Arch.Inputs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(p, 8, ApplyHold, nil)
+	}
+}
+
+// BenchmarkRunModifierOverhead isolates what a non-nil neuron-level
+// modifier set costs per sweep — the price every escape/overkill chip run
+// pays on top of the raw forward pass. The injected entries are chosen to
+// be behaviourally inert (a threshold override equal to θ; a forced spike
+// on a neuron the saturated network fires every timestep anyway), so the
+// integration work is bit-identical to the good chip and the measured
+// delta is purely the per-neuron modifier plumbing: formerly two map
+// lookups per neuron per timestep, now one dense O(neurons) projection per
+// run plus slice reads.
+func BenchmarkRunModifierOverhead(b *testing.B) {
+	net := benchNet()
+	sim := NewSimulator(net)
+	p := OnesPattern(net.Arch.Inputs())
+	good := sim.Run(p, 8, ApplyHold, nil)
+
+	bench := func(name string, mods *Modifiers) {
+		b.Run(name, func(b *testing.B) {
+			if res := sim.Run(p, 8, ApplyHold, mods); !res.Equal(good) {
+				b.Fatalf("modifier set not inert: %v != %v", res.SpikeCounts, good.SpikeCounts)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(p, 8, ApplyHold, mods)
+			}
+		})
+	}
+	bench("threshold-override", &Modifiers{
+		ThresholdOverride: map[NeuronID]float64{{Layer: 1, Index: 7}: net.Params.Theta},
+	})
+	bench("force-spike", &Modifiers{
+		ForceSpike: map[NeuronID]bool{{Layer: 2, Index: 3}: true},
+	})
+	bench("both", &Modifiers{
+		ThresholdOverride: map[NeuronID]float64{{Layer: 1, Index: 7}: net.Params.Theta},
+		ForceSpike:        map[NeuronID]bool{{Layer: 2, Index: 3}: true},
+	})
+}
+
+// BenchmarkRunModifierOverheadSparse is the same measurement on a sweep
+// shaped like the deterministic test programs: a near-silent pattern over a
+// long window, where the weight-row integration is cheap and the
+// per-neuron per-timestep modifier checks dominate. This is the regime
+// that exposes the map-lookup cost the dense projection removes.
+func BenchmarkRunModifierOverheadSparse(b *testing.B) {
+	net := benchNet()
+	sim := NewSimulator(net)
+	p := NewPattern(net.Arch.Inputs())
+	for i := 0; i < len(p); i += 96 {
+		p[i] = true
+	}
+	good := sim.Run(p, 32, ApplyHold, nil)
+	mods := &Modifiers{
+		// Inert: overriding with θ changes nothing, so only the plumbing
+		// is measured (a silent neuron 0 would not stay inert under
+		// ForceSpike, hence threshold-only here).
+		ThresholdOverride: map[NeuronID]float64{{Layer: 1, Index: 7}: net.Params.Theta},
+	}
+	if res := sim.Run(p, 32, ApplyHold, mods); !res.Equal(good) {
+		b.Fatalf("modifier set not inert: %v != %v", res.SpikeCounts, good.SpikeCounts)
+	}
+	b.Run("good", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.Run(p, 32, ApplyHold, nil)
+		}
+	})
+	b.Run("modified", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.Run(p, 32, ApplyHold, mods)
+		}
+	})
+}

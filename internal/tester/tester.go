@@ -34,9 +34,37 @@ type ATE struct {
 	transform faultsim.ConfigTransform
 	nets      []*snn.Network // transformed configuration per config index
 	golden    []snn.Result   // per item
+	// goldens memoizes the fault-simulation Golden (good-chip traces plus
+	// the downstream memo). It is held by pointer so tolerance clones share
+	// it: one golden build and one warm memo serve every campaign over this
+	// test program, which is the neurotestd artifact-cache access pattern.
+	goldens *goldenShare
 	// tolerance is the pass band on each output spike count (see
 	// WithTolerance). 0 means exact comparison.
 	tolerance int
+}
+
+// goldenShare memoizes one faultsim.Golden behind an ATE and all of its
+// tolerance clones. A build panic (e.g. a transform rejecting a
+// configuration) is captured once and surfaced as an error by every
+// campaign instead of crashing the caller.
+type goldenShare struct {
+	once sync.Once
+	g    *faultsim.Golden
+	err  error
+}
+
+// faultGolden returns the memoized shared Golden, building it on first use.
+func (a *ATE) faultGolden() (*faultsim.Golden, error) {
+	a.goldens.once.Do(func() {
+		defer func() {
+			if p := recover(); p != nil {
+				a.goldens.err = fmt.Errorf("tester: building golden traces: %v", p)
+			}
+		}()
+		a.goldens.g = faultsim.NewGolden(a.ts, a.transform)
+	})
+	return a.goldens.g, a.goldens.err
 }
 
 // WithTolerance sets the per-output spike-count pass band and returns the
@@ -57,10 +85,12 @@ func (a *ATE) WithTolerance(n int) (*ATE, error) {
 }
 
 // CloneWithTolerance returns a copy of the ATE with its own pass band,
-// sharing the (immutable) test set, configurations and golden responses.
+// sharing the (immutable) test set, configurations, golden responses and
+// the memoized fault-simulation Golden (traces and downstream memo).
 // Campaign methods never mutate the ATE, so one memoized ATE can serve
 // concurrent campaigns under different tolerances via cheap clones — the
-// access pattern of the neurotestd artifact cache.
+// access pattern of the neurotestd artifact cache — and those campaigns
+// simulate golden traces once between them.
 func (a *ATE) CloneWithTolerance(n int) (*ATE, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("tester: negative tolerance %d", n)
@@ -102,7 +132,7 @@ func New(ts *pattern.TestSet, transform faultsim.ConfigTransform) *ATE {
 // gap the quantizer opens then shows up as overkill, which is exactly the
 // effect the paper's "overkill with quantization" rows measure.
 func NewSplit(ts *pattern.TestSet, goldenTransform, chipTransform faultsim.ConfigTransform) *ATE {
-	a := &ATE{ts: ts, transform: chipTransform}
+	a := &ATE{ts: ts, transform: chipTransform, goldens: &goldenShare{}}
 	a.nets = make([]*snn.Network, len(ts.Configs))
 	golden := make([]*snn.Network, len(ts.Configs))
 	for i, cfg := range ts.Configs {
@@ -241,10 +271,15 @@ func (c CoverageResult) String() string {
 // program over faults and reports coverage. Variation plays no role here —
 // coverage is a property of the deterministic design, per Tables 5/6.
 //
-// Faults are evaluated in parallel, one incremental engine per worker; a
-// worker panic (e.g. a fault site outside the architecture) is recovered
-// into CoverageResult.Errors instead of crashing the process, and the
-// result is identical to the serial evaluation regardless of scheduling.
+// Faults are evaluated in parallel over one shared, memoized
+// faultsim.Golden (good-chip traces are simulated once per test program, no
+// matter how many workers run or how many campaigns reuse the ATE) with a
+// cheap per-worker evaluator; downstream memo hits cross workers through
+// the Golden's sharded memo. A worker panic (e.g. a fault site outside the
+// architecture) is recovered into CoverageResult.Errors instead of crashing
+// the process — discarding only that worker's scratch evaluator, never the
+// goldens — and the result is identical to the serial evaluation regardless
+// of scheduling.
 func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) CoverageResult {
 	res, _ := a.MeasureCoverageContext(context.Background(), faults, values)
 	return res
@@ -267,7 +302,14 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 	ctx, span := obs.StartSpan(ctx, "fault-simulate")
 	span.SetAttr("faults", strconv.Itoa(len(faults)))
 	defer span.End()
-	engines := make([]*faultsim.Engine, poolWorkers(len(faults)))
+	golden, gerr := a.faultGolden()
+	if gerr != nil {
+		// Without goldens no fault can be evaluated; surface the build
+		// failure once rather than crashing or erroring per fault.
+		res.Errors = append(res.Errors, gerr)
+		return res, ctx.Err()
+	}
+	evals := make([]*faultsim.Evaluator, poolWorkers(len(faults)))
 	type verdict struct {
 		detected  bool
 		cancelled bool
@@ -278,14 +320,15 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 			if p := recover(); p != nil {
 				f := faults[i]
 				v.err = &WorkerError{Op: "coverage", Worker: w, Chip: -1, Fault: &f, Panic: p}
-				// The engine may be mid-evaluation; rebuild before reuse.
-				engines[w] = nil
+				// Only the worker's scratch can be mid-mutation: discard the
+				// evaluator and rebuild it cheaply from the shared goldens.
+				evals[w] = nil
 			}
 		}()
-		if engines[w] == nil {
-			engines[w] = faultsim.New(a.ts, values, a.transform)
+		if evals[w] == nil {
+			evals[w] = golden.NewEvaluator(values)
 		}
-		det, err := engines[w].DetectsContext(ctx, faults[i])
+		det, err := evals[w].DetectsContext(ctx, faults[i])
 		if err != nil {
 			v.cancelled = true
 			return v
@@ -459,14 +502,19 @@ func runWorkersCtx[T any](ctx context.Context, n int, fn func(i, w int) T) (out 
 	return out, done
 }
 
-// SampleFaults returns a deterministic stratified sample of up to max faults
-// drawn from the universe of each listed kind, proportionally to universe
-// sizes (at least one per non-empty kind). With max <= 0 or max >= total it
-// returns the full concatenated universes.
+// SampleFaults returns a deterministic stratified sample of at most max
+// faults drawn from the universe of each listed kind, proportionally to
+// universe sizes. When the budget fits (max >= number of non-empty kinds)
+// every non-empty kind contributes at least one fault; with a smaller
+// budget the kinds are served one fault each in listed order until the
+// budget runs out. With max <= 0 or max >= total it returns the full
+// concatenated universes.
 func SampleFaults(arch snn.Arch, kinds []fault.Kind, max int, seed uint64) []fault.Fault {
+	sizes := make([]int, len(kinds))
 	total := 0
-	for _, k := range kinds {
-		total += fault.UniverseSize(arch, k)
+	for i, k := range kinds {
+		sizes[i] = fault.UniverseSize(arch, k)
+		total += sizes[i]
 	}
 	var out []fault.Fault
 	if max <= 0 || max >= total {
@@ -476,20 +524,90 @@ func SampleFaults(arch snn.Arch, kinds []fault.Kind, max int, seed uint64) []fau
 		return out
 	}
 	rng := stats.NewRNG(seed)
-	for _, k := range kinds {
-		u := fault.Universe(arch, k)
-		want := max * len(u) / total
-		if want < 1 {
-			want = 1
+	want := sampleAllocation(sizes, max, total)
+	for i, k := range kinds {
+		if want[i] == 0 {
+			continue
 		}
-		if want >= len(u) {
+		u := fault.Universe(arch, k)
+		if want[i] >= len(u) {
 			out = append(out, u...)
 			continue
 		}
 		perm := rng.Perm(len(u))
-		for _, idx := range perm[:want] {
+		for _, idx := range perm[:want[i]] {
 			out = append(out, u[idx])
 		}
 	}
 	return out
+}
+
+// sampleAllocation splits a budget of max faults across kind universes of
+// the given sizes, proportionally, with every non-empty kind getting at
+// least one when the budget allows. Unlike naive per-kind rounding, the
+// allocations are reconciled so they always sum to exactly min(max, total):
+// the floor-and-bump pass can both overshoot (the at-least-one bumps
+// exceed the budget) and undershoot (flooring loses up to one fault per
+// kind); overshoot is trimmed from the largest allocations and undershoot
+// topped up on the kinds with the most unsampled faults, both
+// deterministically in listed-kind order on ties.
+func sampleAllocation(sizes []int, max, total int) []int {
+	want := make([]int, len(sizes))
+	nonEmpty := 0
+	for _, n := range sizes {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if max < nonEmpty {
+		// The at-least-one guarantee cannot fit: serve the first max
+		// non-empty kinds one fault each.
+		left := max
+		for i, n := range sizes {
+			if n > 0 && left > 0 {
+				want[i] = 1
+				left--
+			}
+		}
+		return want
+	}
+	assigned := 0
+	for i, n := range sizes {
+		if n == 0 {
+			continue
+		}
+		w := max * n / total
+		if w < 1 {
+			w = 1
+		}
+		if w > n {
+			w = n
+		}
+		want[i] = w
+		assigned += w
+	}
+	for assigned > max {
+		// Trim the largest allocation that can spare a fault.
+		best := -1
+		for i, w := range want {
+			if w > 1 && (best < 0 || w > want[best]) {
+				best = i
+			}
+		}
+		want[best]--
+		assigned--
+	}
+	for assigned < max {
+		// Top up the kind with the most unsampled faults. max < total
+		// guarantees some kind has spare capacity.
+		best := -1
+		for i, w := range want {
+			if w < sizes[i] && (best < 0 || sizes[i]-w > sizes[best]-want[best]) {
+				best = i
+			}
+		}
+		want[best]++
+		assigned++
+	}
+	return want
 }
