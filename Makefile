@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzServedSuites -fuzztime=10s ./internal/pattern
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/pattern
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=10s ./internal/pattern
+	$(GO) test -run='^$$' -fuzz=FuzzDetector -fuzztime=10s ./internal/online
 
 # bench runs the performance suite — the paper-evaluation benchmarks in the
 # root package plus the internal/obs instrument and internal/snn simulator

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-table 3|5|6|ratio] [-figure 4] [-model 4|5]
+//	experiments [-quick] [-table 3|5|6|ratio|online] [-figure 4] [-model 4|5]
 //	            [-csv dir] [-seed N] [-trace file] [-v]
 //
-// With no selection flags, all tables and both figures are produced.
+// With no selection flags, all tables and both figures are produced; the
+// in-field monitoring sweep (-table online) only runs when selected, since
+// it measures the online monitor rather than a paper artefact.
 // -trace records one span per regenerated table/figure and writes them as
 // NDJSON when the run finishes.
 package main
@@ -25,6 +27,8 @@ import (
 	"neurotest/internal/faultsim"
 	"neurotest/internal/obs"
 	"neurotest/internal/report"
+	"neurotest/internal/snn"
+	"neurotest/internal/unreliable"
 )
 
 func main() {
@@ -115,6 +119,17 @@ func main() {
 	if wantTable("ratio") {
 		phase("ratio", func(context.Context) {
 			runner.RatioTable().Render(os.Stdout)
+			fmt.Println()
+		})
+	}
+	// The online sweep is opt-in (-table online): it exercises the in-field
+	// monitor on a field-sized model, not one of the paper's tables.
+	if *table == "online" {
+		phase("online", func(context.Context) {
+			arch := snn.Arch{24, 16, 8, 4}
+			readout := unreliable.Readout{JitterP: 0.02, JitterMag: 1, DropP: 0.01}
+			points := runner.OnlineSweep(arch, readout)
+			experiments.OnlineTable(arch, readout.String(), points).Render(os.Stdout)
 			fmt.Println()
 		})
 	}

@@ -11,6 +11,8 @@
 //	                   [-variation-aware]
 //	neurotest flaky    -arch 64-32-16-10 [-probs 1.0,0.5] [-budgets 0,3]
 //	                   [-jitter 0.02] [-drop 0.01] [-vote=false]
+//	neurotest online   -arch 24-16-8-4 [-probs 1.0,0.25] [-thresholds 6,12]
+//	                   [-window 256] [-jitter 0.02] [-drop 0.01]
 //
 // Examples:
 //
@@ -93,6 +95,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "flaky":
 		err = cmdFlaky(os.Args[2:])
+	case "online":
+		err = cmdOnline(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -123,6 +127,7 @@ subcommands:
   margins    analyse variation tolerance of a generated test program
   trace      dump a test item's simulation as a VCD waveform
   flaky      sweep intermittent-fault and retest-budget test sessions
+  online     sweep the in-field drift monitor over fault models and thresholds
   serve      launch the neurotestd test-floor daemon (same flags)
 
 exit codes: 0 ok, 1 runtime failure, 2 usage error
@@ -567,6 +572,79 @@ func cmdFlaky(args []string) error {
 		policy = "single retest decides"
 	}
 	experiments.FlakyTable(arch, readout.String(), policy, points).Render(os.Stdout)
+	return nil
+}
+
+// cmdOnline sweeps the in-field online drift monitor: populations of
+// faulty (clustered defects) and defect-free fielded chips run an
+// application workload behind an unreliable session while the monitor
+// compares per-layer spike statistics against the golden distribution,
+// alarming and escalating to a structural retest.
+func cmdOnline(args []string) error {
+	fs := flag.NewFlagSet("online", flag.ExitOnError)
+	archFlag := fs.String("arch", "24-16-8-4", "layer widths, dash separated")
+	nFaults := fs.Int("faults", 60, "faulty fielded population per sweep point")
+	nChips := fs.Int("chips", 60, "defect-free fielded population per sweep point")
+	probs := fs.String("probs", "", "comma-separated fault activation probabilities (default 1.0,0.5,0.25,0.1)")
+	thresholds := fs.String("thresholds", "", "comma-separated CUSUM alarm levels h (default 6,12,24)")
+	window := fs.Int("window", 256, "workload observations per fielded chip")
+	jitter := fs.Float64("jitter", 0, "per-output spike-count jitter probability")
+	jitterMag := fs.Int("jitter-mag", 1, "maximum jitter magnitude (spikes)")
+	drop := fs.Float64("drop", 0, "probability a readout is dropped entirely")
+	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
+	verbose := fs.Bool("v", false, "print per-point progress to stderr")
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	if *nFaults < 1 || *nChips < 1 {
+		return usagef("-faults and -chips must be >= 1 (got %d, %d)", *nFaults, *nChips)
+	}
+	if *window < 1 {
+		return usagef("-window must be >= 1 (got %d)", *window)
+	}
+	if *jitterMag < 1 {
+		return usagef("-jitter-mag must be >= 1 (got %d)", *jitterMag)
+	}
+	readout := neurotest.Readout{JitterP: *jitter, JitterMag: *jitterMag, DropP: *drop}
+	if err := readout.Validate(); err != nil {
+		return asUsage(err)
+	}
+	cfg := experiments.Config{
+		Seed:         *seed,
+		OnlineFaults: *nFaults,
+		OnlineChips:  *nChips,
+		OnlineWindow: *window,
+	}
+	if *probs != "" {
+		if cfg.OnlineProbs, err = parseFloatList(*probs, "-probs"); err != nil {
+			return err
+		}
+		for _, p := range cfg.OnlineProbs {
+			if p < 0 || p > 1 {
+				return usagef("-probs values must be in [0,1] (got %g)", p)
+			}
+		}
+	}
+	if *thresholds != "" {
+		if cfg.OnlineThresholds, err = parseFloatList(*thresholds, "-thresholds"); err != nil {
+			return err
+		}
+		for _, h := range cfg.OnlineThresholds {
+			if h <= 0 {
+				return usagef("-thresholds values must be > 0 (got %g)", h)
+			}
+		}
+	}
+
+	runner := experiments.NewRunner(cfg)
+	if *verbose {
+		runner.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  .. %s\n", s) }
+	}
+	points := runner.OnlineSweep(arch, readout)
+	experiments.OnlineTable(arch, readout.String(), points).Render(os.Stdout)
 	return nil
 }
 

@@ -75,6 +75,31 @@ func Synthetic(inputs, classes, perClass int, density, flip float64, seed uint64
 	return ds, nil
 }
 
+// Stream re-samples a dataset as an open-ended stimulus sequence: Next
+// draws one sample per call, uniformly with replacement, from a private
+// SplitMix64 stream. Equal (dataset, seed) pairs replay the identical
+// infinite sequence — the workload model of the in-field online monitor,
+// where a deployed chip sees application inputs forever rather than one
+// epoch of a finite set.
+type Stream struct {
+	ds  *Dataset
+	rng *stats.RNG
+}
+
+// Stream starts a deterministic resampling stream over the dataset. It
+// fails on an empty dataset (there is nothing to draw).
+func (ds *Dataset) Stream(seed uint64) (*Stream, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("apptest: cannot stream an empty dataset")
+	}
+	return &Stream{ds: ds, rng: stats.NewRNG(seed)}, nil
+}
+
+// Next returns the next stimulus of the stream.
+func (s *Stream) Next() Sample {
+	return s.ds.Samples[s.rng.Intn(len(s.ds.Samples))]
+}
+
 // Split partitions the dataset deterministically into train and test sets
 // with the given train fraction.
 func (ds *Dataset) Split(trainFrac float64, seed uint64) (train, test *Dataset) {

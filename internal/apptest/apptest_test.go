@@ -1,6 +1,7 @@
 package apptest
 
 import (
+	"reflect"
 	"testing"
 
 	"neurotest/internal/fault"
@@ -151,5 +152,38 @@ func TestPredictMatchesAccuracyPath(t *testing.T) {
 func TestSyntheticRejectsBadShape(t *testing.T) {
 	if _, err := Synthetic(0, 2, 3, 0.5, 0.1, 1); err == nil {
 		t.Errorf("expected an error for a zero-input dataset")
+	}
+}
+
+func TestStreamIsDeterministicAndCoversDataset(t *testing.T) {
+	ds, err := Synthetic(12, 3, 8, 0.4, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ds.Stream(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ds.Stream(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa.Label != sb.Label || !reflect.DeepEqual(sa.Input, sb.Input) {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+		seen[sa.Label] = true
+	}
+	// Uniform resampling over 500 draws must visit every class.
+	if len(seen) != ds.Classes {
+		t.Errorf("stream visited %d of %d classes", len(seen), ds.Classes)
+	}
+}
+
+func TestStreamRejectsEmptyDataset(t *testing.T) {
+	if _, err := (&Dataset{Inputs: 4}).Stream(1); err == nil {
+		t.Error("empty dataset streamed")
 	}
 }

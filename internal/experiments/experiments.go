@@ -111,6 +111,19 @@ type Config struct {
 	// sweeps; nil selects the default {0, 1, 3, 5} (an explicit empty,
 	// non-nil slice is rejected by FlakySweep).
 	FlakyBudgets []int
+	// OnlineProbs are the fault-activation probabilities the in-field
+	// monitoring experiment sweeps.
+	OnlineProbs []float64
+	// OnlineThresholds are the CUSUM alarm levels h the online sweep tries;
+	// each pairs with a z-threshold of h/2. The default includes 12, the
+	// online package's tuned default.
+	OnlineThresholds []float64
+	// OnlineFaults / OnlineChips size the faulty and defect-free fielded
+	// populations per online sweep cell.
+	OnlineFaults int
+	OnlineChips  int
+	// OnlineWindow is the per-chip monitoring window in workload stimuli.
+	OnlineWindow int
 }
 
 // Normalize fills defaults for zero fields and returns the config.
@@ -148,6 +161,23 @@ func (c Config) Normalize() Config {
 	if c.FlakyBudgets == nil {
 		c.FlakyBudgets = []int{0, 1, 3, 5}
 	}
+	if len(c.OnlineProbs) == 0 {
+		c.OnlineProbs = []float64{1.0, 0.5, 0.25, 0.1}
+	}
+	if len(c.OnlineThresholds) == 0 {
+		c.OnlineThresholds = []float64{6, 12, 24}
+	}
+	if c.OnlineFaults == 0 {
+		c.OnlineFaults = 60
+	}
+	if c.OnlineChips == 0 {
+		// Matches GoodChips: 1 % false-positive resolution needs a
+		// fault-free population of paper scale, not a smoke-test one.
+		c.OnlineChips = 300
+	}
+	if c.OnlineWindow == 0 {
+		c.OnlineWindow = 256
+	}
 	return c
 }
 
@@ -162,6 +192,11 @@ func Quick() Config {
 		BaselineConfigs:     5,
 		BaselinePatterns:    60,
 		BaselineGuide:       400,
+		OnlineProbs:         []float64{1.0, 0.5, 0.1},
+		OnlineThresholds:    []float64{12},
+		OnlineFaults:        20,
+		OnlineChips:         20,
+		OnlineWindow:        128,
 	}.Normalize()
 }
 

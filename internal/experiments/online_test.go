@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/unreliable"
+)
+
+func onlineRunner() *Runner {
+	return NewRunner(Config{
+		EscapeSample:     20,
+		OnlineProbs:      []float64{1.0, 0.25},
+		OnlineThresholds: []float64{12},
+		OnlineFaults:     8,
+		OnlineChips:      8,
+		OnlineWindow:     96,
+	})
+}
+
+func TestOnlineSweepDetectsAndStaysQuiet(t *testing.T) {
+	arch := snn.Arch{12, 8, 4}
+	points := onlineRunner().OnlineSweep(arch, unreliable.Readout{})
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 models × 2 probs × 1 threshold)", len(points))
+	}
+	for _, pt := range points {
+		// The defect-free population must ride out the window without a
+		// single alarm at the tuned threshold — the ≤1 % acceptance bar.
+		if pt.FalsePositive > 1 {
+			t.Errorf("%s p=%g: false-positive rate %.2f%% above 1%%", pt.Model, pt.P, pt.FalsePositive)
+		}
+		if pt.Detection > 0 && pt.Latency <= 0 {
+			t.Errorf("%s p=%g: alarms without latency: %+v", pt.Model, pt.P, pt)
+		}
+		if pt.Confirmed > pt.Detection {
+			t.Errorf("%s p=%g: more confirmations than detections: %+v", pt.Model, pt.P, pt)
+		}
+	}
+	// Permanently-active clustered defects must be detected under both
+	// intermittence models.
+	for _, pt := range points {
+		if pt.P == 1.0 && pt.Detection == 0 {
+			t.Errorf("%s p=1: clustered defects never alarmed: %+v", pt.Model, pt)
+		}
+	}
+}
+
+func TestOnlineSweepDeterministicAndRendered(t *testing.T) {
+	arch := snn.Arch{12, 8, 4}
+	readout := unreliable.Readout{JitterP: 0.05, JitterMag: 1, DropP: 0.02}
+	a := onlineRunner().OnlineSweep(arch, readout)
+	b := onlineRunner().OnlineSweep(arch, readout)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not reproducible at point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	tbl := OnlineTable(arch, readout.String(), a)
+	s := tbl.String()
+	if !strings.Contains(s, "detect %") || !strings.Contains(s, "latency") {
+		t.Errorf("table header wrong:\n%s", s)
+	}
+	if len(tbl.Rows) != len(a) {
+		t.Errorf("table has %d rows, want %d", len(tbl.Rows), len(a))
+	}
+}
+
+func TestNormalizeOnlineDefaults(t *testing.T) {
+	c := Config{}.Normalize()
+	if len(c.OnlineProbs) == 0 || len(c.OnlineThresholds) == 0 {
+		t.Fatalf("online sweep axes not defaulted: %+v", c)
+	}
+	has12 := false
+	for _, h := range c.OnlineThresholds {
+		if h == 12 {
+			has12 = true
+		}
+	}
+	if !has12 {
+		t.Errorf("default thresholds %v must include the tuned default 12", c.OnlineThresholds)
+	}
+	if c.OnlineFaults != 60 || c.OnlineChips != 300 || c.OnlineWindow != 256 {
+		t.Errorf("online population defaults: %+v", c)
+	}
+}

@@ -194,6 +194,28 @@ func FlakyTable(arch snn.Arch, readout, policy string, points []FlakyPoint) *rep
 	return t
 }
 
+// OnlineTable renders an OnlineSweep result as the in-field monitoring
+// table: one row per (model, activation probability, threshold) point.
+func OnlineTable(arch snn.Arch, readout string, points []OnlinePoint) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("In-field online monitor sweep — %s model (%s, clustered defects, escalation budget 3, vote)", arch, readout),
+		"model", "p(active)", "h", "detect %", "fp %", "latency", "confirmed %", "quarantined %",
+	)
+	for _, pt := range points {
+		t.AddRow(
+			pt.Model,
+			fmt.Sprintf("%.2f", pt.P),
+			fmt.Sprintf("%.0f", pt.Threshold),
+			fmt.Sprintf("%.2f", pt.Detection),
+			fmt.Sprintf("%.2f", pt.FalsePositive),
+			fmt.Sprintf("%.1f", pt.Latency),
+			fmt.Sprintf("%.2f", pt.Confirmed),
+			fmt.Sprintf("%.2f", pt.Quarantined),
+		)
+	}
+	return t
+}
+
 // Figure4 reproduces the variation sweep for one architecture: test escape
 // and overkill of every method over the σ axis. It returns the two figures
 // (escape, overkill).

@@ -11,6 +11,8 @@ package lint
 // serves the artifacts. internal/obs is included because its spans and
 // metric exposition are themselves served artifacts (/v1/traces, /metrics):
 // all wall-clock reads there must flow through its one audited hook.
+// internal/online is included because in-field detector decisions must be
+// bit-reproducible given the chip seed — drift verdicts feed quarantine.
 func DeterministicPaths() []string {
 	return []string{
 		"neurotest",
@@ -18,6 +20,7 @@ func DeterministicPaths() []string {
 		"neurotest/internal/compact",
 		"neurotest/internal/core",
 		"neurotest/internal/obs",
+		"neurotest/internal/online",
 		"neurotest/internal/pattern",
 		"neurotest/internal/report",
 		"neurotest/internal/schedule",

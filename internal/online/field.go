@@ -1,0 +1,240 @@
+package online
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"neurotest/internal/apptest"
+	"neurotest/internal/obs"
+	"neurotest/internal/snn"
+	"neurotest/internal/tester"
+	"neurotest/internal/unreliable"
+	"neurotest/internal/variation"
+)
+
+// Verdict is the terminal state of one fielded chip's monitoring episode.
+// Healthy chips never alarmed; alarmed chips carry the outcome of their
+// structural retest escalation.
+type Verdict int
+
+const (
+	// Healthy: the monitoring window elapsed without an alarm.
+	Healthy Verdict = iota
+	// Pass: the monitor alarmed but the structural retest session passed —
+	// a transient upset or a monitor false alarm; the chip stays fielded.
+	Pass
+	// Fail: the escalated retest confirmed a defect.
+	Fail
+	// Quarantine: the escalated retest could not stabilise a verdict
+	// within its budget; the chip is pulled for manual re-probe.
+	Quarantine
+)
+
+// String renders the verdict as field-lifecycle labels.
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "HEALTHY"
+	case Pass:
+		return "PASS"
+	case Fail:
+		return "FAIL"
+	case Quarantine:
+		return "QUARANTINE"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// FieldChip describes one fielded die.
+type FieldChip struct {
+	// Index identifies the chip within its population (span naming).
+	Index int
+	// Mods injects the die's physical defect; nil is a defect-free die.
+	Mods *snn.Modifiers
+	// Profile is the die's reliability model (intermittence + readout).
+	Profile unreliable.Profile
+	// Seed drives the whole episode: workload resampling, fault
+	// activation, readout noise and the escalated retest session.
+	Seed uint64
+}
+
+// FieldOptions parameterizes RunField.
+type FieldOptions struct {
+	// Window is the number of workload stimuli applied before an
+	// alarm-free chip is called healthy (default 256). Dropped readouts
+	// consume window slots — a dead readout channel cannot stall the
+	// monitor forever.
+	Window int
+	// Detector configures the drift detectors (zero fields take the
+	// tuned defaults).
+	Detector Config
+	// Policy is the retest policy of the escalated structural session.
+	Policy tester.RetestPolicy
+}
+
+// FieldReport is the outcome of one chip's field lifecycle.
+type FieldReport struct {
+	Verdict Verdict
+	// Alarm is the drift report that triggered escalation, nil if the
+	// chip stayed healthy.
+	Alarm *Alarm
+	// Observations counts readouts that reached the detector; Dropped
+	// counts readouts lost to the channel.
+	Observations int
+	Dropped      int
+	// Retest is the escalated structural session's report, nil if no
+	// alarm was raised.
+	Retest *tester.SessionReport
+}
+
+// Stream-decorrelation salts: the workload resampling stream and the
+// escalated retest session must not replay the monitor session's noise
+// (arbitrary odd constants, fixed forever for reproducibility).
+const (
+	fieldStreamSalt = 0x6C62272E07BB0142
+	fieldRetestSalt = 0x27D4EB2F165667C5
+)
+
+// RunField runs the full in-field lifecycle of one chip: stream the
+// application workload through the monitor; on alarm, escalate the
+// suspected chip to the structural test floor — ate's full program under
+// the chip's own reliability profile and the retest policy — and bin it by
+// the session outcome. An alarm-free window bins the chip Healthy.
+//
+// The episode is sequential and deterministic: equal (golden, workload,
+// chip, options) replay identical verdicts, which is what puts detector
+// decisions on the determinism path. Cancellation is checked between
+// stimuli; the partial report accompanies ctx.Err().
+func RunField(ctx context.Context, ate *tester.ATE, g *Golden, net *snn.Network, ds *apptest.Dataset, chip FieldChip, opt FieldOptions) (FieldReport, error) {
+	var rep FieldReport
+	if ate == nil {
+		return rep, fmt.Errorf("online: nil ATE for escalation")
+	}
+	window := opt.Window
+	if window == 0 {
+		window = 256
+	}
+	if window < 0 {
+		return rep, fmt.Errorf("online: window must be >= 0, got %d", opt.Window)
+	}
+	stream, err := ds.Stream(chip.Seed ^ fieldStreamSalt)
+	if err != nil {
+		return rep, err
+	}
+	mon, err := NewMonitor(g, opt.Detector, net, chip.Mods, chip.Profile, chip.Seed)
+	if err != nil {
+		return rep, err
+	}
+	ensureObs()
+	timer := obs.StartTimer()
+	_, span := obs.StartSpan(ctx, "field-"+strconv.Itoa(chip.Index))
+	defer span.End()
+
+	var alarm *Alarm
+	for i := 0; i < window && alarm == nil; i++ {
+		if err := ctx.Err(); err != nil {
+			rep.Observations, rep.Dropped = mon.Observations, mon.Dropped
+			span.SetAttr("outcome", "cancelled")
+			return rep, err
+		}
+		if alarm, err = mon.Step(stream.Next().Input); err != nil {
+			span.SetAttr("outcome", "error")
+			return rep, err
+		}
+	}
+	rep.Observations, rep.Dropped = mon.Observations, mon.Dropped
+	rep.Alarm = alarm
+	if alarm == nil {
+		rep.Verdict = Healthy
+		observeField(timer, span, rep, chip)
+		return rep, nil
+	}
+	// Escalation: the suspected chip goes back to the structural program.
+	// Its intermittent fault keeps its own activation process there, so a
+	// transient alarm can legitimately retest clean (Verdict Pass).
+	sr := ate.RunChipSession(chip.Mods, chip.Profile, variation.None(), opt.Policy, chip.Seed^fieldRetestSalt)
+	rep.Retest = &sr
+	switch sr.Outcome {
+	case tester.Fail:
+		rep.Verdict = Fail
+	case tester.Quarantine:
+		rep.Verdict = Quarantine
+	default:
+		rep.Verdict = Pass
+	}
+	observeField(timer, span, rep, chip)
+	return rep, nil
+}
+
+// FieldStats aggregates a population of field reports.
+type FieldStats struct {
+	// Chips counts episodes; Faulty/Good split them by injected defect.
+	Chips, Faulty, Good int
+	// Verdict tallies.
+	Healthy, Pass, Fail, Quarantine int
+	// Alarms counts raised alarms (= escalations); FalseAlarms counts
+	// alarms raised on defect-free dies.
+	Alarms, FalseAlarms int
+	// Observations and Dropped sum the per-chip monitor accounting;
+	// LatencySum sums detection latencies of alarmed chips.
+	Observations, Dropped, LatencySum int
+}
+
+// Add merges one chip's report; faulty says whether the die carried an
+// injected defect (the monitor itself cannot know).
+func (s *FieldStats) Add(rep FieldReport, faulty bool) {
+	s.Chips++
+	if faulty {
+		s.Faulty++
+	} else {
+		s.Good++
+	}
+	switch rep.Verdict {
+	case Healthy:
+		s.Healthy++
+	case Pass:
+		s.Pass++
+	case Fail:
+		s.Fail++
+	case Quarantine:
+		s.Quarantine++
+	}
+	s.Observations += rep.Observations
+	s.Dropped += rep.Dropped
+	if rep.Alarm != nil {
+		s.Alarms++
+		s.LatencySum += rep.Alarm.Observation
+		if !faulty {
+			s.FalseAlarms++
+		}
+	}
+}
+
+// DetectionRate returns the percentage of faulty chips that alarmed.
+func (s FieldStats) DetectionRate() float64 {
+	if s.Faulty == 0 {
+		return 0
+	}
+	faultyAlarms := s.Alarms - s.FalseAlarms
+	return 100 * float64(faultyAlarms) / float64(s.Faulty)
+}
+
+// FalseAlarmRate returns the percentage of defect-free chips that alarmed
+// — the monitor's false-positive rate.
+func (s FieldStats) FalseAlarmRate() float64 {
+	if s.Good == 0 {
+		return 0
+	}
+	return 100 * float64(s.FalseAlarms) / float64(s.Good)
+}
+
+// MeanDetectionLatency returns the mean observations-to-alarm over all
+// alarmed chips, or 0 when nothing alarmed.
+func (s FieldStats) MeanDetectionLatency() float64 {
+	if s.Alarms == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Alarms)
+}

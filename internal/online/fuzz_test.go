@@ -1,0 +1,64 @@
+package online
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDetector feeds arbitrary spike-count streams into the decision
+// function and asserts the safety properties the monitor leans on:
+//
+//  1. Observe never panics and never emits a non-finite statistic, for
+//     any observation stream (the counts a faulty chip emits are
+//     adversarial by construction);
+//  2. replaying a constant stream equal to the golden mean never alarms
+//     (z = 0 and the slack drains the CUSUM, so a healthy steady-state
+//     chip is never condemned);
+//  3. the decision sequence is bit-reproducible: two detectors fed the
+//     same stream make identical decisions.
+func FuzzDetector(f *testing.F) {
+	f.Add(uint64(1), 10, 3, 40, 7)
+	f.Add(uint64(2), 0, 0, 0, 0)
+	f.Add(uint64(3), 1<<30, -(1 << 30), 64, 1)
+	f.Fuzz(func(t *testing.T, seedBits uint64, a, b, c, d int) {
+		golden := goldenOf([]float64{10, 40}, []float64{2, 5})
+		det, err := NewDetector(golden, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		twin, err := NewDetector(golden, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quiet, err := NewDetector(golden, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := [][]int{{a, b}, {b, c}, {c, d}, {d, a}, {a, d}, {b, b}}
+		for i := 0; i < 64; i++ {
+			obs := counts[(int(seedBits)&0x7fffffff+i)%len(counts)]
+			dec, err := det.Observe(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(dec.Z) || math.IsInf(dec.Z, 0) || math.IsNaN(dec.Drift) || math.IsInf(dec.Drift, 0) {
+				t.Fatalf("non-finite decision statistic on %v: %+v", obs, dec)
+			}
+			twinDec, err := twin.Observe(obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec != twinDec {
+				t.Fatalf("decision diverged on identical streams:\n%+v\n%+v", dec, twinDec)
+			}
+			goldenObs := []int{10, 40}
+			qDec, err := quiet.Observe(goldenObs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qDec.Alarmed {
+				t.Fatalf("alarm on the golden steady state at observation %d: %+v", i+1, qDec)
+			}
+		}
+	})
+}

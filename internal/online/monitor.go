@@ -1,0 +1,111 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+
+	"neurotest/internal/snn"
+	"neurotest/internal/unreliable"
+)
+
+// Alarm is the typed drift report a Monitor raises when the chip's
+// observed spike statistics leave the golden distribution.
+type Alarm struct {
+	// Layer is the offending network layer (1-based; the input layer is
+	// not monitored).
+	Layer int
+	// Detector names the statistic that crossed: "z" or "cusum".
+	Detector string
+	// Z is the offending channel's z-score at the alarm.
+	Z float64
+	// Drift is the magnitude of the crossing statistic.
+	Drift float64
+	// Observation is how many surviving observations the monitor had
+	// consumed when the alarm fired — the chip's detection latency.
+	Observation int
+}
+
+// String renders the alarm one-line for logs and reports.
+func (a Alarm) String() string {
+	return fmt.Sprintf("drift on layer %d (%s=%.2f, z=%.2f) after %d observations",
+		a.Layer, a.Detector, a.Drift, a.Z, a.Observation)
+}
+
+// Monitor watches one deployed chip: each Step applies a workload
+// stimulus, gates the chip's physical defect through the reliability
+// profile's intermittence model, observes the response through the
+// profile's readout channel, and folds surviving observations into the
+// drift detector. Dropped readouts are counted and skipped — a lost
+// observation is not evidence of drift.
+//
+// A Monitor is not safe for concurrent use; give each chip its own.
+type Monitor struct {
+	det  *Detector
+	sess *unreliable.Session
+	sim  *snn.Simulator
+	mods *snn.Modifiers
+
+	// Observations counts readouts that survived the channel and reached
+	// the detector.
+	Observations int
+	// Dropped counts readouts lost to the channel.
+	Dropped int
+}
+
+// NewMonitor builds a monitor for one chip-under-test. net is the chip's
+// programmed network (the golden reference must have been captured on the
+// same architecture); mods injects the die's physical defect (nil for a
+// defect-free die); prof describes the chip's reliability; seed makes the
+// whole monitoring episode — fault activation, readout noise — replay
+// bit-for-bit.
+func NewMonitor(g *Golden, cfg Config, net *snn.Network, mods *snn.Modifiers, prof unreliable.Profile, seed uint64) (*Monitor, error) {
+	if net == nil {
+		return nil, fmt.Errorf("online: nil network")
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	det, err := NewDetector(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if net.Arch.Layers()-1 != g.Channels() {
+		return nil, fmt.Errorf("online: network has %d monitored layers, golden reference %d channels",
+			net.Arch.Layers()-1, g.Channels())
+	}
+	return &Monitor{det: det, sess: prof.NewSession(seed), sim: snn.NewSimulator(net), mods: mods}, nil
+}
+
+// Step applies one workload stimulus to the chip and returns a non-nil
+// Alarm when the drift detectors fire on its observation. A nil, nil
+// return means "no evidence yet" (including dropped readouts).
+func (m *Monitor) Step(in snn.Pattern) (*Alarm, error) {
+	mods := m.mods
+	if !m.sess.FaultActive() {
+		mods = nil
+	}
+	res := Probe(m.sim, in, m.det.g.Timesteps, mods)
+	obs, err := m.sess.Observe(res)
+	if errors.Is(err, unreliable.ErrDropped) {
+		m.Dropped++
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Observations++
+	dec, err := m.det.Observe(obs.SpikeCounts)
+	if err != nil {
+		return nil, err
+	}
+	if !dec.Alarmed {
+		return nil, nil
+	}
+	return &Alarm{
+		Layer:       dec.Channel + 1,
+		Detector:    dec.Detector,
+		Z:           dec.Z,
+		Drift:       dec.Drift,
+		Observation: m.Observations,
+	}, nil
+}

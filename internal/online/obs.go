@@ -1,0 +1,68 @@
+package online
+
+import (
+	"sync"
+
+	"neurotest/internal/obs"
+	"neurotest/internal/snn"
+)
+
+// Package-level instruments, registered once in the process-wide obs
+// default registry — the same lazy pattern as internal/tester: library
+// users who never scrape pay one sync.Once check per field episode.
+var (
+	obsOnce sync.Once
+
+	fieldSeconds     *obs.Histogram // one RunField episode's wall time
+	detectionLatency *obs.Histogram // observations-to-alarm of raised alarms
+
+	alarmsTotal         *obs.Counter
+	falsePositivesTotal *obs.Counter
+	escalationsTotal    *obs.Counter
+	verdictCounters     map[Verdict]*obs.Counter
+)
+
+// ensureObs registers the package instruments on first use.
+func ensureObs() {
+	obsOnce.Do(func() {
+		r := obs.Default()
+		fieldSeconds = r.Histogram("online_field_seconds",
+			"wall time of one in-field monitoring episode", nil)
+		detectionLatency = r.Histogram("online_detection_latency_observations",
+			"observations consumed before an alarm fired",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
+		alarmsTotal = r.Counter("online_alarms_total",
+			"drift alarms raised by in-field monitors")
+		falsePositivesTotal = r.Counter("online_false_positives_total",
+			"drift alarms raised on defect-free dies")
+		escalationsTotal = r.Counter("online_escalations_total",
+			"suspected chips escalated to structural retest sessions")
+		verdict := func(v Verdict) *obs.Counter {
+			return r.Counter("online_field_verdicts_total",
+				"field episodes by terminal verdict", obs.L("verdict", v.String()))
+		}
+		verdictCounters = map[Verdict]*obs.Counter{
+			Healthy: verdict(Healthy), Pass: verdict(Pass),
+			Fail: verdict(Fail), Quarantine: verdict(Quarantine),
+		}
+	})
+}
+
+// observeField records one finished field episode.
+func observeField(t obs.Timer, span *obs.Span, rep FieldReport, chip FieldChip) {
+	t.ObserveElapsed(fieldSeconds)
+	verdictCounters[rep.Verdict].Inc()
+	span.SetAttr("outcome", rep.Verdict.String())
+	if rep.Alarm == nil {
+		return
+	}
+	detectionLatency.Observe(float64(rep.Alarm.Observation))
+	alarmsTotal.Inc()
+	escalationsTotal.Inc()
+	if isDefectFree(chip.Mods) {
+		falsePositivesTotal.Inc()
+	}
+}
+
+// isDefectFree reports whether the die carries no injected defect.
+func isDefectFree(m *snn.Modifiers) bool { return m == nil }

@@ -1,0 +1,143 @@
+// Package online implements in-field online testing of deployed
+// neuromorphic chips: a streaming monitor that watches per-layer
+// spike-count statistics of an application workload running on a
+// chip-under-test and compares them against golden distributions captured
+// once from the fault-free network.
+//
+// The paper's algorithmic test (reproduced by internal/core and applied by
+// internal/tester) is a one-shot manufacturing screen; chips that pass it
+// can still degrade in the field. Re-running the full structural program
+// on a deployed chip is expensive and takes the application offline, so
+// this package closes the ROADMAP's "in-field online testing" loop with a
+// cheap concurrent check instead:
+//
+//  1. Golden capture (once, fault-free): the application workload is
+//     probed through the network and per-layer total spike counts are
+//     folded into O(1)-memory Welford accumulators (stats.Welford),
+//     yielding a mean/σ reference distribution per monitored layer.
+//  2. Monitoring (streaming, per chip): each applied workload stimulus is
+//     probed on the chip-under-test, observed through the chip's
+//     unreliable readout session, and scored by two drift detectors — an
+//     instantaneous z-score test for large shifts and a two-sided CUSUM
+//     for small persistent ones (Detector).
+//  3. Escalation: a raised Alarm names the offending layer and drift
+//     magnitude; the suspected chip is routed back to the structural test
+//     floor (tester.RunChipSession under the chip's own reliability
+//     profile and retest policy), producing the full field-verdict
+//     lifecycle healthy → suspected → retested → Pass/Fail/Quarantine
+//     (RunField).
+//
+// Everything is a deterministic function of the injected seeds — probing,
+// fault activation, readout noise and detector decisions replay
+// bit-for-bit — so the package sits on neurolint's determinism path next
+// to the artifact-producing generators.
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"neurotest/internal/apptest"
+	"neurotest/internal/snn"
+	"neurotest/internal/stats"
+)
+
+// Golden is the fault-free reference distribution of the monitored
+// statistic: mean and sample standard deviation of the per-layer total
+// spike count over the application workload, one channel per non-input
+// layer (channel i watches layer i+1).
+type Golden struct {
+	// Arch is the network architecture the reference was captured on.
+	Arch snn.Arch
+	// Timesteps is the rate-coding window every probe uses; monitoring
+	// must replay the same window or the counts are incomparable.
+	Timesteps int
+	// Samples is how many workload stimuli the capture accumulated.
+	Samples int
+	// Mean and Std are the per-channel reference statistics.
+	Mean []float64
+	Std  []float64
+}
+
+// Channels returns the number of monitored channels (layers except the
+// input layer).
+func (g *Golden) Channels() int { return len(g.Mean) }
+
+// Validate checks that the reference is usable for monitoring: a non-empty
+// channel set with finite means and finite non-negative deviations,
+// captured over at least two samples within the simulator's window bounds.
+func (g *Golden) Validate() error {
+	if g == nil {
+		return fmt.Errorf("online: nil golden reference")
+	}
+	if len(g.Mean) == 0 || len(g.Mean) != len(g.Std) {
+		return fmt.Errorf("online: golden reference has %d means and %d deviations", len(g.Mean), len(g.Std))
+	}
+	if g.Timesteps <= 0 || g.Timesteps > snn.MaxTimesteps {
+		return fmt.Errorf("online: golden timesteps must be in [1,%d], got %d", snn.MaxTimesteps, g.Timesteps)
+	}
+	if g.Samples < 2 {
+		return fmt.Errorf("online: golden reference captured over %d samples, need >= 2", g.Samples)
+	}
+	for i := range g.Mean {
+		if math.IsNaN(g.Mean[i]) || math.IsInf(g.Mean[i], 0) {
+			return fmt.Errorf("online: golden mean of channel %d is %g", i, g.Mean[i])
+		}
+		if math.IsNaN(g.Std[i]) || math.IsInf(g.Std[i], 0) || g.Std[i] < 0 {
+			return fmt.Errorf("online: golden deviation of channel %d is %g", i, g.Std[i])
+		}
+	}
+	return nil
+}
+
+// Probe applies one workload stimulus to the simulated chip and returns
+// the monitored statistic vector: the total spike count of every non-input
+// layer over the observation window (SpikeCounts[k-1] totals layer k).
+// Inputs are rate-coded with ApplyHold, matching apptest inference, so
+// golden capture and monitoring see the same stimulus regime.
+func Probe(sim *snn.Simulator, in snn.Pattern, timesteps int, mods *snn.Modifiers) snn.Result {
+	_, trace := sim.RunTrace(in, timesteps, snn.ApplyHold, mods)
+	arch := sim.Network().Arch
+	counts := make([]int, arch.Layers()-1)
+	for k := 1; k < arch.Layers(); k++ {
+		total := 0
+		for _, x := range trace.X[k] {
+			total += bits.OnesCount64(x)
+		}
+		counts[k-1] = total
+	}
+	return snn.Result{SpikeCounts: counts}
+}
+
+// CaptureGolden probes the whole workload once through the fault-free
+// network and accumulates the per-layer reference distributions in one
+// streaming pass (one stats.Welford per channel — no retained buffer).
+func CaptureGolden(net *snn.Network, ds *apptest.Dataset, timesteps int) (*Golden, error) {
+	if net == nil {
+		return nil, fmt.Errorf("online: nil network")
+	}
+	if ds == nil || len(ds.Samples) < 2 {
+		return nil, fmt.Errorf("online: golden capture needs at least 2 workload samples")
+	}
+	if net.Arch.Inputs() != ds.Inputs {
+		return nil, fmt.Errorf("online: network inputs %d != workload inputs %d", net.Arch.Inputs(), ds.Inputs)
+	}
+	if timesteps <= 0 || timesteps > snn.MaxTimesteps {
+		return nil, fmt.Errorf("online: timesteps must be in [1,%d], got %d", snn.MaxTimesteps, timesteps)
+	}
+	sim := snn.NewSimulator(net)
+	acc := make([]stats.Welford, net.Arch.Layers()-1)
+	for _, s := range ds.Samples {
+		res := Probe(sim, s.Input, timesteps, nil)
+		for i, c := range res.SpikeCounts {
+			acc[i].Add(float64(c))
+		}
+	}
+	g := &Golden{Arch: net.Arch, Timesteps: timesteps, Samples: len(ds.Samples)}
+	for i := range acc {
+		g.Mean = append(g.Mean, acc[i].Mean())
+		g.Std = append(g.Std, acc[i].StdDev())
+	}
+	return g, nil
+}

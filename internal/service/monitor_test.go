@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestServiceMonitorEscalatesFaultyPopulation drives the whole in-field
+// story over HTTP: faulty fielded chips drift, the monitor alarms, alarms
+// stream as NDJSON events, and every alarmed chip is escalated to a
+// structural retest whose verdict lands in the event and the terminal
+// summary.
+func TestServiceMonitorEscalatesFaultyPopulation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	body := `{"arch":[12,8,4],"kind":"NASF","chips":6,"faulty":true,
+	          "window":192,"max_retests":3,"vote":true,"seed":5}`
+	var job JobStatus
+	resp := postJSON(t, ts.URL+"/v1/monitor", body, &job)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("monitor submit: HTTP %d", resp.StatusCode)
+	}
+
+	// Stream the job: alarm events, then the terminal status line last.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var events []monitorEvent
+	var lastStatus JobStatus
+	lastLineWasStatus := false
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Event string `json:"event"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case probe.Event == "alarm":
+			var ev monitorEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+			lastLineWasStatus = false
+		case probe.State != "":
+			if err := json.Unmarshal(line, &lastStatus); err != nil {
+				t.Fatal(err)
+			}
+			lastLineWasStatus = true
+		default:
+			t.Fatalf("unrecognized stream line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !lastLineWasStatus || lastStatus.State != "done" {
+		t.Fatalf("stream must end with the terminal status, got state %q (last line status: %v)",
+			lastStatus.State, lastLineWasStatus)
+	}
+
+	if len(events) == 0 {
+		t.Fatal("no alarm events: faulty fielded population never drifted")
+	}
+	for _, ev := range events {
+		if ev.Layer < 1 || ev.Detector == "" || ev.Observation < 1 {
+			t.Errorf("malformed alarm event: %+v", ev)
+		}
+		if ev.Verdict == "HEALTHY" {
+			t.Errorf("alarmed chip reported HEALTHY: %+v", ev)
+		}
+		if ev.Verdict != "PASS" && ev.RetestItems == 0 {
+			t.Errorf("escalated chip ran no retest items: %+v", ev)
+		}
+	}
+
+	alarms, ok := resultField(t, lastStatus, "alarms").(float64)
+	if !ok || int(alarms) != len(events) {
+		t.Errorf("summary alarms %v != %d streamed events", lastStatus.Result, len(events))
+	}
+	if fails, _ := resultField(t, lastStatus, "fail").(float64); fails == 0 {
+		t.Errorf("no escalated chip was confirmed faulty: %+v", lastStatus.Result)
+	}
+	if fa, _ := resultField(t, lastStatus, "false_alarms").(float64); fa != 0 {
+		t.Errorf("faulty population cannot have false alarms: %+v", lastStatus.Result)
+	}
+}
+
+// TestServiceMonitorFaultFreePopulationStaysQuiet is the false-positive
+// side: defect-free dies behind a noisy readout must ride out the window
+// without a single alarm at the default thresholds.
+func TestServiceMonitorFaultFreePopulationStaysQuiet(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	body := `{"arch":[12,8,4],"chips":8,"window":256,
+	          "jitter_p":0.05,"jitter_mag":1,"drop_p":0.02,"seed":9}`
+	var job JobStatus
+	if resp := postJSON(t, ts.URL+"/v1/monitor", body, &job); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("monitor submit: HTTP %d", resp.StatusCode)
+	}
+	st := pollJob(t, ts.URL, job.ID)
+	if st.State != "done" {
+		t.Fatalf("job: %+v", st)
+	}
+	if alarms, _ := resultField(t, st, "alarms").(float64); alarms != 0 {
+		t.Errorf("defect-free population alarmed: %+v", st.Result)
+	}
+	if healthy, _ := resultField(t, st, "healthy").(float64); healthy != 8 {
+		t.Errorf("want 8 healthy chips: %+v", st.Result)
+	}
+	if drops, _ := resultField(t, st, "dropped").(float64); drops == 0 {
+		t.Errorf("drop_p 0.02 over 8×256 reads lost nothing: %+v", st.Result)
+	}
+}
+
+// TestServiceMonitorDeterministic replays an identical monitor campaign and
+// requires identical results — detector decisions are on the repo's
+// determinism path.
+func TestServiceMonitorDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	body := `{"arch":[12,8,4],"kind":"NASF","chips":4,"faulty":true,
+	          "activation_p":0.4,"burst":true,"persist":0.8,
+	          "jitter_p":0.1,"jitter_mag":2,"drop_p":0.05,
+	          "window":128,"max_retests":2,"vote":true,"seed":77}`
+	run := func() any {
+		var job JobStatus
+		if resp := postJSON(t, ts.URL+"/v1/monitor", body, &job); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("monitor submit: HTTP %d", resp.StatusCode)
+		}
+		st := pollJob(t, ts.URL, job.ID)
+		if st.State != "done" {
+			t.Fatalf("job: %+v", st)
+		}
+		return st.Result
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical monitor campaigns diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestServiceMonitorRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	bad := []string{
+		`{"chips":4}`,       // missing arch
+		`{"arch":[12,8,4]}`, // missing chips
+		`{"arch":[12,8,4],"chips":2,"window":5000}`,           // window above cap
+		`{"arch":[12,8,4],"chips":2,"workload_samples":2000}`, // workload above cap
+		`{"arch":[12,8,4],"chips":2,"z_threshold":-1}`,        // negative threshold
+		`{"arch":[12,8,4],"chips":2,"drop_p":1}`,              // full-drop readout
+		`{"arch":[12,8,4],"chips":2,"activation_p":1.5}`,      // bad probability
+		`{"arch":[12,8,4],"chips":2,"max_retests":-1}`,        // negative budget
+	}
+	for _, body := range bad {
+		if resp := postJSON(t, ts.URL+"/v1/monitor", body, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

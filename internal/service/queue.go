@@ -67,9 +67,46 @@ type Job struct {
 	errMsg   string
 	changed  chan struct{}
 
+	// events is the append-only stream of intermediate progress values a
+	// running job publishes (alarm notifications, per-chip verdicts); the
+	// streaming endpoint drains it alongside status snapshots.
+	events []any
+
 	ctx    context.Context
 	cancel context.CancelFunc
-	run    func(ctx context.Context) (any, error)
+	run    func(ctx context.Context, j *Job) (any, error)
+}
+
+// maxJobEvents caps the per-job event buffer: a runaway publisher degrades
+// to dropping its oldest-unseen semantics (later events win) instead of
+// growing the daemon's heap without bound.
+const maxJobEvents = 4096
+
+// Publish appends one progress event to the job's stream and wakes
+// streaming watchers. Events beyond the buffer cap are dropped.
+func (j *Job) Publish(ev any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) >= maxJobEvents {
+		return
+	}
+	j.events = append(j.events, ev)
+	j.signalLocked()
+}
+
+// Events returns the published events from index n on.
+func (j *Job) Events(n int) []any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(j.events) {
+		return nil
+	}
+	out := make([]any, len(j.events)-n)
+	copy(out, j.events[n:])
+	return out
 }
 
 // JobStatus is the JSON shape of a job snapshot.
@@ -114,13 +151,22 @@ func (j *Job) Done() bool {
 	return j.state.Terminal()
 }
 
-// watch returns the current status and a channel closed on the next state
-// change — the streaming endpoint's wait primitive.
+// watch returns the current status and a channel closed on the next change
+// (state transition or published event) — the streaming endpoint's wait
+// primitive.
 func (j *Job) watch() (JobStatus, <-chan struct{}) {
 	j.mu.Lock()
 	ch := j.changed
 	j.mu.Unlock()
 	return j.Status(), ch
+}
+
+// watchFrom is watch plus the events published since index n.
+func (j *Job) watchFrom(n int) (JobStatus, []any, <-chan struct{}) {
+	j.mu.Lock()
+	ch := j.changed
+	j.mu.Unlock()
+	return j.Status(), j.Events(n), ch
 }
 
 // signalLocked wakes watchers; callers hold mu.
@@ -232,6 +278,12 @@ func NewQueue(capacity, workers int, m *Metrics) *Queue {
 // Submit enqueues a job whose body is run. It never blocks: a full queue
 // returns ErrQueueFull immediately so the HTTP layer can 503.
 func (q *Queue) Submit(kind string, run func(ctx context.Context) (any, error)) (*Job, error) {
+	return q.SubmitJob(kind, func(ctx context.Context, _ *Job) (any, error) { return run(ctx) })
+}
+
+// SubmitJob is Submit for bodies that publish progress events: the body
+// receives its own Job handle to Publish on while it runs.
+func (q *Queue) SubmitJob(kind string, run func(ctx context.Context, j *Job) (any, error)) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		Kind:    kind,
@@ -375,5 +427,5 @@ func runSafely(j *Job) (result any, err error) {
 			err = fmt.Errorf("job %s panicked: %v", j.ID, p)
 		}
 	}()
-	return j.run(j.ctx)
+	return j.run(j.ctx, j)
 }

@@ -24,8 +24,10 @@ import (
 	"strings"
 	"time"
 
+	"neurotest/internal/apptest"
 	"neurotest/internal/fault"
 	"neurotest/internal/obs"
+	"neurotest/internal/online"
 	"neurotest/internal/quant"
 	"neurotest/internal/snn"
 	"neurotest/internal/tester"
@@ -121,6 +123,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
 	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /v1/monitor", s.handleMonitor)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
@@ -171,8 +174,21 @@ type coverageJobResult struct {
 	Errored    int      `json:"errored"`
 }
 
+// profileRequest carries the reliability knobs shared by every campaign
+// over unreliable chips (defaults: always-active fault, perfect readout).
+// It is embedded, so its fields promote into the outer JSON object.
+type profileRequest struct {
+	ActivationP *float64 `json:"activation_p"`
+	Burst       bool     `json:"burst"`
+	Persist     float64  `json:"persist"`
+	JitterP     float64  `json:"jitter_p"`
+	JitterMag   int      `json:"jitter_mag"`
+	DropP       float64  `json:"drop_p"`
+}
+
 type sessionsRequest struct {
 	generateRequest
+	profileRequest
 	// Chips is the population size; Faulty selects whether each die carries
 	// an injected defect (sampled from the fault universe) or is good.
 	Chips  int  `json:"chips"`
@@ -180,13 +196,6 @@ type sessionsRequest struct {
 	// Sample caps the defect universe the faulty population draws from
 	// (0 = exhaustive).
 	Sample int `json:"sample"`
-	// Reliability profile (defaults: always-active fault, perfect readout).
-	ActivationP *float64 `json:"activation_p"`
-	Burst       bool     `json:"burst"`
-	Persist     float64  `json:"persist"`
-	JitterP     float64  `json:"jitter_p"`
-	JitterMag   int      `json:"jitter_mag"`
-	DropP       float64  `json:"drop_p"`
 	// Retest policy and pass band.
 	MaxRetests int  `json:"max_retests"`
 	Vote       bool `json:"vote"`
@@ -212,6 +221,65 @@ type sessionsJobResult struct {
 	DroppedReads   int     `json:"dropped_reads"`
 	Amplification  float64 `json:"amplification"`
 	Errored        int     `json:"errored"`
+}
+
+type monitorRequest struct {
+	generateRequest
+	profileRequest
+	// Chips is the fielded population size; Faulty selects whether each die
+	// carries an injected defect cluster (sampled from the fault universe)
+	// or is defect-free.
+	Chips  int  `json:"chips"`
+	Faulty bool `json:"faulty"`
+	// Sample caps the defect universe faulty dies draw from (0 = exhaustive).
+	Sample int `json:"sample"`
+	// Window is the per-chip monitoring window in workload stimuli
+	// (default 256, capped at 4096).
+	Window int `json:"window"`
+	// WorkloadSamples sizes the synthetic application dataset the golden
+	// reference is captured on (default 64, capped at 1024).
+	WorkloadSamples int `json:"workload_samples"`
+	// Detector thresholds (0 = tuned defaults).
+	ZThreshold     float64 `json:"z_threshold"`
+	CUSUMThreshold float64 `json:"cusum_threshold"`
+	CUSUMSlack     float64 `json:"cusum_slack"`
+	WarmUp         int     `json:"warm_up"`
+	// Escalation retest policy and pass band.
+	MaxRetests int    `json:"max_retests"`
+	Vote       bool   `json:"vote"`
+	Tolerance  int    `json:"tolerance"`
+	Seed       uint64 `json:"seed"`
+}
+
+// monitorEvent is one NDJSON progress line of a /v1/monitor job: a chip
+// whose monitor raised a drift alarm and was escalated to retest.
+type monitorEvent struct {
+	Event       string  `json:"event"` // always "alarm"
+	Chip        int     `json:"chip"`
+	Layer       int     `json:"layer"`
+	Detector    string  `json:"detector"`
+	Z           float64 `json:"z"`
+	Drift       float64 `json:"drift"`
+	Observation int     `json:"observation"`
+	Verdict     string  `json:"verdict"`
+	RetestItems int     `json:"retest_items"`
+}
+
+type monitorJobResult struct {
+	SuiteKey             string  `json:"suite_key"`
+	Profile              string  `json:"profile"`
+	Chips                int     `json:"chips"`
+	Healthy              int     `json:"healthy"`
+	Pass                 int     `json:"pass"`
+	Fail                 int     `json:"fail"`
+	Quarantine           int     `json:"quarantine"`
+	Alarms               int     `json:"alarms"`
+	FalseAlarms          int     `json:"false_alarms"`
+	DetectionRate        float64 `json:"detection_rate_pct"`
+	FalseAlarmRate       float64 `json:"false_alarm_rate_pct"`
+	MeanDetectionLatency float64 `json:"mean_detection_latency"`
+	Observations         int     `json:"observations"`
+	Dropped              int     `json:"dropped"`
 }
 
 // --- request resolution ---------------------------------------------------
@@ -279,28 +347,22 @@ func (s *Server) resolveSpec(req generateRequest) (SuiteSpec, error) {
 	return spec, nil
 }
 
-// resolveProfile validates the reliability knobs of a sessions request.
-func resolveProfile(req sessionsRequest) (unreliable.Profile, error) {
+// resolveProfile validates the reliability knobs of a campaign request
+// through the unreliable package's own gate, so the service and every other
+// NewSession caller reject exactly the same profiles.
+func resolveProfile(req profileRequest) (unreliable.Profile, error) {
 	p := 1.0
 	if req.ActivationP != nil {
 		p = *req.ActivationP
 	}
-	if p < 0 || p > 1 {
-		return unreliable.Profile{}, badf("activation_p must be in [0,1] (got %g)", p)
-	}
-	if req.Burst && (req.Persist < 0 || req.Persist > 1) {
-		return unreliable.Profile{}, badf("persist must be in [0,1] (got %g)", req.Persist)
-	}
-	if req.JitterP < 0 || req.JitterP > 1 || req.DropP < 0 || req.DropP >= 1 {
-		return unreliable.Profile{}, badf("jitter_p must be in [0,1] and drop_p in [0,1) (got %g, %g)", req.JitterP, req.DropP)
-	}
-	if req.JitterMag < 0 {
-		return unreliable.Profile{}, badf("jitter_mag must be >= 0 (got %d)", req.JitterMag)
-	}
-	return unreliable.Profile{
+	prof := unreliable.Profile{
 		Intermittence: unreliable.Intermittence{P: p, Burst: req.Burst, Persist: req.Persist},
 		Readout:       unreliable.Readout{JitterP: req.JitterP, JitterMag: req.JitterMag, DropP: req.DropP},
-	}, nil
+	}
+	if err := prof.Validate(); err != nil {
+		return unreliable.Profile{}, &badRequest{msg: err.Error()}
+	}
+	return prof, nil
 }
 
 // --- handlers -------------------------------------------------------------
@@ -420,7 +482,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badf("sample, max_retests, tolerance and variation_sigma must be >= 0"))
 		return
 	}
-	prof, err := resolveProfile(req)
+	prof, err := resolveProfile(req.profileRequest)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -488,6 +550,182 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// monitorChipSeed decorrelates per-chip field episodes; the odd multiplier
+// is the 32-bit golden-ratio constant.
+func monitorChipSeed(seed uint64, i int) uint64 {
+	return seed + 1 + uint64(i)*2654435761
+}
+
+// monitorClusterSize is how many sampled faults a faulty fielded die
+// carries. In-field failures cluster (a marginal via, a damaged power rail
+// take out several neurons together), and a cluster's spike-count drift is
+// what the distribution monitor is built to see; truly single subtle
+// defects are the structural retest's job, not the monitor's.
+const monitorClusterSize = 3
+
+// handleMonitor runs the in-field lifecycle over a fielded population:
+// every chip streams the application workload through a drift monitor, and
+// alarmed chips are escalated to a structural retest session. Alarms are
+// published as NDJSON events on the job stream while the campaign runs; the
+// terminal line carries the population summary.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	var req monitorRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := s.resolveSpec(req.generateRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Chips < 1 {
+		s.fail(w, badf("chips must be >= 1 (got %d)", req.Chips))
+		return
+	}
+	if req.Sample < 0 || req.MaxRetests < 0 || req.Tolerance < 0 {
+		s.fail(w, badf("sample, max_retests and tolerance must be >= 0"))
+		return
+	}
+	if req.Window < 0 || req.Window > 4096 {
+		s.fail(w, badf("window must be in [0,4096] (got %d; 0 = default 256)", req.Window))
+		return
+	}
+	if req.WorkloadSamples < 0 || req.WorkloadSamples > 1024 {
+		s.fail(w, badf("workload_samples must be in [0,1024] (got %d; 0 = default 64)", req.WorkloadSamples))
+		return
+	}
+	detector := online.Config{
+		ZThreshold:     req.ZThreshold,
+		CUSUMSlack:     req.CUSUMSlack,
+		CUSUMThreshold: req.CUSUMThreshold,
+		WarmUp:         req.WarmUp,
+	}
+	if err := detector.Normalize().Validate(); err != nil {
+		s.fail(w, &badRequest{msg: err.Error()})
+		return
+	}
+	prof, err := resolveProfile(req.profileRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	samples := req.WorkloadSamples
+	if samples == 0 {
+		samples = 64
+	}
+	s.submitJob(w, r, "monitor", func(ctx context.Context, job *Job) (any, error) {
+		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|monitor"), "monitor")
+		defer root.End()
+		root.SetAttr("profile", prof.String())
+		_, gen := obs.StartSpan(ctx, "generate")
+		art, src, err := s.cache.Suite(spec)
+		gen.SetAttr("source", src.String())
+		gen.End()
+		if err != nil {
+			return nil, err
+		}
+		_, prog := obs.StartSpan(ctx, "program")
+		base, err := art.ATE()
+		prog.End()
+		if err != nil {
+			return nil, err
+		}
+		ate, err := base.CloneWithTolerance(req.Tolerance)
+		if err != nil {
+			return nil, err
+		}
+		model := spec.Model()
+		// The application workload: a synthetic classification task trained
+		// onto the chip's architecture, plus its golden spike statistics.
+		_, work := obs.StartSpan(ctx, "golden-capture")
+		classes := spec.Arch.Outputs()
+		perClass := maxInt(2, samples/classes)
+		ds, err := apptest.Synthetic(spec.Arch.Inputs(), classes, perClass, 0.3, 0.05, req.Seed+101)
+		if err != nil {
+			work.End()
+			return nil, err
+		}
+		cl, err := apptest.Train(ds, apptest.TrainOptions{Arch: spec.Arch, Params: model.Params, Seed: req.Seed + 202})
+		if err != nil {
+			work.End()
+			return nil, err
+		}
+		golden, err := online.CaptureGolden(cl.Net, ds, cl.Timesteps)
+		work.End()
+		if err != nil {
+			return nil, err
+		}
+		var mods func(i int) *snn.Modifiers
+		if req.Faulty {
+			kinds := []fault.Kind{spec.Kind}
+			if spec.KindAll {
+				kinds = fault.Kinds()
+			}
+			faults := tester.SampleFaults(spec.Arch, kinds, req.Sample, req.Seed+41)
+			if len(faults) == 0 {
+				return nil, badf("empty fault universe for %v", spec.Arch)
+			}
+			mods = func(i int) *snn.Modifiers {
+				cluster := make([]*snn.Modifiers, 0, monitorClusterSize)
+				for c := 0; c < monitorClusterSize; c++ {
+					f := faults[(i*monitorClusterSize+c)%len(faults)]
+					cluster = append(cluster, f.Modifiers(model.Values))
+				}
+				return snn.MergeModifiers(cluster...)
+			}
+		}
+		opt := online.FieldOptions{
+			Window:   req.Window,
+			Detector: detector,
+			Policy:   tester.RetestPolicy{MaxRetests: req.MaxRetests, Vote: req.Vote},
+		}
+		var stats online.FieldStats
+		for i := 0; i < req.Chips; i++ {
+			chip := online.FieldChip{Index: i, Profile: prof, Seed: monitorChipSeed(req.Seed, i)}
+			if mods != nil {
+				chip.Mods = mods(i)
+			}
+			rep, err := online.RunField(ctx, ate, golden, cl.Net, ds, chip, opt)
+			if err != nil {
+				return nil, err
+			}
+			stats.Add(rep, chip.Mods != nil)
+			if rep.Alarm != nil {
+				ev := monitorEvent{
+					Event:       "alarm",
+					Chip:        i,
+					Layer:       rep.Alarm.Layer,
+					Detector:    rep.Alarm.Detector,
+					Z:           rep.Alarm.Z,
+					Drift:       rep.Alarm.Drift,
+					Observation: rep.Alarm.Observation,
+					Verdict:     rep.Verdict.String(),
+				}
+				if rep.Retest != nil {
+					ev.RetestItems = rep.Retest.ItemsRun
+				}
+				job.Publish(ev)
+			}
+		}
+		return monitorJobResult{
+			SuiteKey:             art.Key,
+			Profile:              prof.String(),
+			Chips:                stats.Chips,
+			Healthy:              stats.Healthy,
+			Pass:                 stats.Pass,
+			Fail:                 stats.Fail,
+			Quarantine:           stats.Quarantine,
+			Alarms:               stats.Alarms,
+			FalseAlarms:          stats.FalseAlarms,
+			DetectionRate:        stats.DetectionRate(),
+			FalseAlarmRate:       stats.FalseAlarmRate(),
+			MeanDetectionLatency: stats.MeanDetectionLatency(),
+			Observations:         stats.Observations,
+			Dropped:              stats.Dropped,
+		}, nil
+	})
+}
+
 // retryAfterSeconds estimates when a refused submission is worth retrying:
 // the backlog of waiting jobs times the observed mean job latency, spread
 // over the worker pool. With no latency history yet it falls back to 1s;
@@ -512,7 +750,12 @@ func (s *Server) retryAfterSeconds() int {
 // submit enqueues a campaign body, answering 202 + job status, or 503 +
 // Retry-After under backpressure.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, run func(ctx context.Context) (any, error)) {
-	job, err := s.queue.Submit(kind, run)
+	s.submitJob(w, r, kind, func(ctx context.Context, _ *Job) (any, error) { return run(ctx) })
+}
+
+// submitJob is submit for bodies that publish progress events.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, kind string, run func(ctx context.Context, j *Job) (any, error)) {
+	job, err := s.queue.SubmitJob(kind, run)
 	if errors.Is(err, ErrQueueFull) {
 		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
 		httpError(w, http.StatusServiceUnavailable, "job queue full (capacity %d) — retry later", s.queue.Capacity())
@@ -544,10 +787,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
-// handleJobStream streams the job's state transitions as NDJSON: one status
-// object per line, a new line on every transition, closing after the
-// terminal line (which carries the result). Clients get live campaign
-// progress with plain `curl -N`.
+// handleJobStream streams the job's progress as NDJSON: one status object
+// per state transition plus one line per event the running body published
+// (e.g. /v1/monitor alarm notifications), closing after the terminal status
+// line (which carries the result). Events published since the last wake are
+// drained before the status snapshot, so the terminal status is always the
+// last line. Clients get live campaign progress with plain `curl -N`; a
+// slow reader backpressures through Encode, never into the job.
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	job := s.queue.Get(r.PathValue("id"))
 	if job == nil {
@@ -559,10 +805,21 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	seen := 0
+	lastState := ""
 	for {
-		st, changed := job.watch()
-		if err := enc.Encode(st); err != nil {
-			return
+		st, events, changed := job.watchFrom(seen)
+		seen += len(events)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if st.State != lastState {
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			lastState = st.State
 		}
 		if flusher != nil {
 			flusher.Flush()

@@ -83,6 +83,47 @@ func (m *Modifiers) Empty() bool {
 		len(m.StuckWeight) == 0 && len(m.AlwaysOnSynapse) == 0)
 }
 
+// MergeModifiers combines several modifier sets into one — a die carrying a
+// cluster of physical defects. Later sets win on conflicting entries; nil
+// and empty sets are skipped; merging nothing returns nil (a fault-free
+// die). The inputs are not mutated.
+func MergeModifiers(ms ...*Modifiers) *Modifiers {
+	out := &Modifiers{}
+	for _, m := range ms {
+		if m.Empty() {
+			continue
+		}
+		for id, v := range m.ThresholdOverride {
+			if out.ThresholdOverride == nil {
+				out.ThresholdOverride = make(map[NeuronID]float64)
+			}
+			out.ThresholdOverride[id] = v
+		}
+		for id, v := range m.ForceSpike {
+			if out.ForceSpike == nil {
+				out.ForceSpike = make(map[NeuronID]bool)
+			}
+			out.ForceSpike[id] = v
+		}
+		for id, v := range m.StuckWeight {
+			if out.StuckWeight == nil {
+				out.StuckWeight = make(map[SynapseID]float64)
+			}
+			out.StuckWeight[id] = v
+		}
+		for id, v := range m.AlwaysOnSynapse {
+			if out.AlwaysOnSynapse == nil {
+				out.AlwaysOnSynapse = make(map[SynapseID]bool)
+			}
+			out.AlwaysOnSynapse[id] = v
+		}
+	}
+	if out.Empty() {
+		return nil
+	}
+	return out
+}
+
 // Result is the observable outcome of a simulation: how many spikes each
 // output neuron fired inside the observation window. Per Section 3.4 of the
 // paper this vector *is* the chip output used for pass/fail comparison.

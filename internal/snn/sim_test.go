@@ -395,3 +395,34 @@ func TestPatternHelpers(t *testing.T) {
 		t.Errorf("clone aliases original")
 	}
 }
+
+func TestMergeModifiers(t *testing.T) {
+	if MergeModifiers() != nil {
+		t.Error("merging nothing should be a fault-free die")
+	}
+	if MergeModifiers(nil, &Modifiers{}) != nil {
+		t.Error("merging empty sets should be a fault-free die")
+	}
+	a := &Modifiers{
+		ForceSpike:        map[NeuronID]bool{{Layer: 1, Index: 0}: true},
+		ThresholdOverride: map[NeuronID]float64{{Layer: 2, Index: 1}: 0.9},
+	}
+	b := &Modifiers{
+		ForceSpike:      map[NeuronID]bool{{Layer: 1, Index: 2}: true},
+		StuckWeight:     map[SynapseID]float64{{Boundary: 0, Pre: 0, Post: 0}: 1.5},
+		AlwaysOnSynapse: map[SynapseID]bool{{Boundary: 1, Pre: 1, Post: 1}: true},
+	}
+	m := MergeModifiers(a, nil, b)
+	if len(m.ForceSpike) != 2 || len(m.ThresholdOverride) != 1 ||
+		len(m.StuckWeight) != 1 || len(m.AlwaysOnSynapse) != 1 {
+		t.Fatalf("merged: %+v", m)
+	}
+	// Later sets win on conflicts; inputs stay untouched.
+	c := &Modifiers{ThresholdOverride: map[NeuronID]float64{{Layer: 2, Index: 1}: 0.1}}
+	if got := MergeModifiers(a, c).ThresholdOverride[NeuronID{Layer: 2, Index: 1}]; got != 0.1 {
+		t.Errorf("conflict resolution: got %g, want 0.1", got)
+	}
+	if a.ThresholdOverride[NeuronID{Layer: 2, Index: 1}] != 0.9 || len(a.ForceSpike) != 1 {
+		t.Errorf("input mutated: %+v", a)
+	}
+}

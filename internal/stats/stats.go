@@ -9,7 +9,10 @@
 // change between Go releases.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // RNG is a deterministic 64-bit pseudo-random number generator based on
 // SplitMix64. It is tiny, fast, passes BigCrush, and — unlike math/rand —
@@ -215,11 +218,20 @@ func lchoose(n, k int) float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation. xs must be sorted ascending; it is not modified.
+// interpolation. xs should be sorted ascending; unsorted input is detected
+// and sorted into a private copy first (the documented fallback), so the
+// result is always the quantile of the multiset and xs is never modified.
+// Callers that pre-sort keep the O(n) fast path.
 func Quantile(xs []float64, q float64) float64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
+	}
+	if !sort.Float64sAreSorted(xs) {
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		xs = sorted
 	}
 	if q <= 0 {
 		return xs[0]

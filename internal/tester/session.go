@@ -330,6 +330,13 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 	if n <= 0 {
 		return stats, ctx.Err()
 	}
+	// Reject malformed reliability profiles before any session draws noise:
+	// a NaN probability would not crash, it would silently bias every
+	// verdict in the campaign (NaN compares false against every draw).
+	if err := prof.Validate(); err != nil {
+		stats.Errors = append(stats.Errors, err)
+		return stats, err
+	}
 	ensureObs()
 	timer := obs.StartTimer()
 	defer func() { timer.ObserveElapsed(sessionsCampaignSeconds) }()

@@ -1,6 +1,7 @@
 package tester
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -306,5 +307,64 @@ func TestOutcomeAndReportStrings(t *testing.T) {
 	}
 	if (SessionReport{}).Amplification() != 0 {
 		t.Errorf("zero report amplification")
+	}
+}
+
+func TestSessionStatsRatesWithZeroSessions(t *testing.T) {
+	// The zero-chip population hits every rate helper's division guard.
+	var s SessionStats
+	if s.PassRate() != 0 || s.FailRate() != 0 || s.QuarantineRate() != 0 {
+		t.Errorf("zero-session rates: pass %g, fail %g, quarantine %g",
+			s.PassRate(), s.FailRate(), s.QuarantineRate())
+	}
+	if s.Amplification() != 0 {
+		t.Errorf("zero-session amplification %g", s.Amplification())
+	}
+}
+
+func TestMeasureSessionsRejectsInvalidProfile(t *testing.T) {
+	arch := snn.Arch{6, 5, 4}
+	_, merged := smallSuite(t, arch, core.NoVariation())
+	ate := New(merged, nil)
+	bad := unreliable.Profile{Readout: unreliable.Readout{DropP: 1}}
+	stats, err := ate.MeasureSessionsContext(context.Background(), 4, nil, bad,
+		variation.None(), RetestPolicy{}, 1)
+	if err == nil {
+		t.Fatal("full-drop profile accepted by a session campaign")
+	}
+	if stats.Chips != 0 || len(stats.Errors) != 1 {
+		t.Errorf("stats after rejection: %+v", stats)
+	}
+}
+
+func TestSessionObservePropagatesDrops(t *testing.T) {
+	// A readout channel near total loss: Session.Observe must surface
+	// ErrDropped (not a zero Result) and count every loss, so the retest
+	// machinery above it can spend budget instead of mis-binning.
+	prof := unreliable.Profile{
+		Intermittence: unreliable.Always(),
+		Readout:       unreliable.Readout{DropP: 0.999999},
+	}
+	sess := prof.NewSession(3)
+	res := snn.Result{SpikeCounts: []int{5, 7}}
+	drops := 0
+	for i := 0; i < 200; i++ {
+		got, err := sess.Observe(res)
+		if errors.Is(err, unreliable.ErrDropped) {
+			drops++
+			if got.SpikeCounts != nil {
+				t.Fatalf("dropped readout returned data: %+v", got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drops != sess.Drops {
+		t.Errorf("observed %d drops, session counted %d", drops, sess.Drops)
+	}
+	if drops < 190 {
+		t.Errorf("near-total drop channel only dropped %d of 200 reads", drops)
 	}
 }

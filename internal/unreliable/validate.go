@@ -1,0 +1,58 @@
+package unreliable
+
+import (
+	"fmt"
+	"math"
+)
+
+// The reliability knobs are plain floats that arrive from CLI flags and
+// JSON request bodies; a NaN, negative or >1 "probability" would not crash
+// a Session, it would silently sample garbage (NaN compares false against
+// every Float64 draw, so e.g. P = NaN behaves as "never active" while
+// DropP = NaN behaves as "never dropped"). Validate methods give every
+// NewSession caller — the tester session layer, the service handlers, the
+// CLI flag parsing and the online monitor — one shared gate to reject such
+// profiles before any noise is drawn.
+
+// probability reports whether p is a usable probability in [0, 1].
+func probability(p float64) bool {
+	return !math.IsNaN(p) && p >= 0 && p <= 1
+}
+
+// Validate checks the intermittence regime: P must be a probability, and
+// Persist must be one when burst mode (which is the only consumer of
+// Persist) is enabled.
+func (m Intermittence) Validate() error {
+	if !probability(m.P) {
+		return fmt.Errorf("unreliable: activation probability P must be in [0,1], got %g", m.P)
+	}
+	if m.Burst && !probability(m.Persist) {
+		return fmt.Errorf("unreliable: burst persistence must be in [0,1], got %g", m.Persist)
+	}
+	return nil
+}
+
+// Validate checks the readout channel: JitterP must be a probability,
+// DropP must be in [0,1) (a channel that drops every readout would retry
+// forever on an unbudgeted tester), and JitterMag must be non-negative
+// (0 is treated as 1 by Observe).
+func (r Readout) Validate() error {
+	if !probability(r.JitterP) {
+		return fmt.Errorf("unreliable: jitter probability must be in [0,1], got %g", r.JitterP)
+	}
+	if math.IsNaN(r.DropP) || r.DropP < 0 || r.DropP >= 1 {
+		return fmt.Errorf("unreliable: drop probability must be in [0,1), got %g", r.DropP)
+	}
+	if r.JitterMag < 0 {
+		return fmt.Errorf("unreliable: jitter magnitude must be >= 0, got %d", r.JitterMag)
+	}
+	return nil
+}
+
+// Validate checks both component models of the profile.
+func (p Profile) Validate() error {
+	if err := p.Intermittence.Validate(); err != nil {
+		return err
+	}
+	return p.Readout.Validate()
+}

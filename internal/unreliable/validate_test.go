@@ -1,0 +1,91 @@
+package unreliable
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntermittenceValidate(t *testing.T) {
+	good := []Intermittence{
+		{},
+		{P: 0},
+		{P: 1},
+		{P: 0.5},
+		Always(),
+		{P: 0.5, Burst: true, Persist: 0.9},
+		{P: 0.5, Burst: true, Persist: 0},
+		{P: 0.5, Burst: true, Persist: 1},
+		// Persist is only consumed in burst mode, so garbage there is
+		// harmless and must not reject a non-burst profile.
+		{P: 0.5, Persist: math.NaN()},
+		{P: 0.5, Persist: -3},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("case %d: valid intermittence %+v rejected: %v", i, m, err)
+		}
+	}
+	bad := []Intermittence{
+		{P: math.NaN()},
+		{P: -0.1},
+		{P: 1.1},
+		{P: math.Inf(1)},
+		{P: 0.5, Burst: true, Persist: math.NaN()},
+		{P: 0.5, Burst: true, Persist: -0.1},
+		{P: 0.5, Burst: true, Persist: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: bad intermittence %+v accepted", i, m)
+		}
+	}
+}
+
+func TestReadoutValidate(t *testing.T) {
+	good := []Readout{
+		{},
+		{JitterP: 1, JitterMag: 3},
+		{JitterP: 0.1, JitterMag: 0, DropP: 0},
+		{DropP: 0.999},
+	}
+	for i, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("case %d: valid readout %+v rejected: %v", i, r, err)
+		}
+	}
+	bad := []Readout{
+		{JitterP: math.NaN()},
+		{JitterP: -0.5},
+		{JitterP: 2},
+		{DropP: math.NaN()},
+		{DropP: -0.1},
+		// DropP = 1 drops every readout: an unbudgeted tester would retry
+		// forever, so exactly 1 is rejected while 1-ε is allowed.
+		{DropP: 1},
+		{JitterP: 0.5, JitterMag: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: bad readout %+v accepted", i, r)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := Reliable().Validate(); err != nil {
+		t.Errorf("Reliable() rejected: %v", err)
+	}
+	p := Profile{
+		Intermittence: Intermittence{P: 0.3, Burst: true, Persist: 0.8},
+		Readout:       Readout{JitterP: 0.1, JitterMag: 2, DropP: 0.05},
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (Profile{Intermittence: Intermittence{P: math.NaN()}}).Validate(); err == nil {
+		t.Error("NaN activation accepted")
+	}
+	if err := (Profile{Intermittence: Always(), Readout: Readout{DropP: 1}}).Validate(); err == nil {
+		t.Error("full-drop readout accepted")
+	}
+}
