@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt build vet neurolint test race fuzz bench serve
+.PHONY: check fmt build vet neurolint test race fuzz bench serve fleet
 
 # check is the tier-1 gate: everything CI runs, runnable locally.
 check: fmt vet build neurolint test race
@@ -57,3 +57,13 @@ bench:
 # serve runs the neurotestd test-floor daemon on its default address.
 serve:
 	$(GO) run ./cmd/neurotestd
+
+# fleet runs the distributed-floor load generator at benchmark scale
+# (1-worker vs 3-worker rings behind a coordinator, thousands of concurrent
+# client sessions) and records the report under results/BENCH_cluster.json.
+# Fails if the 3-worker ring is under 2x single-node throughput or the p99
+# latency SLO is missed. FLEETFLAGS overrides or extends the defaults.
+FLEETFLAGS ?=
+fleet:
+	@mkdir -p results
+	$(GO) run ./cmd/neurofleet -out results/BENCH_cluster.json $(FLEETFLAGS)

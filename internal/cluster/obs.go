@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"sync"
+
+	"neurotest/internal/obs"
+)
+
+// Package-level instruments, registered lazily in the process-wide obs
+// default registry (every instrument method is nil-safe). The coordinator
+// and client bump them; /metrics on a coordinator node merges them into one
+// scrape alongside the service registry.
+var (
+	clusterObsOnce sync.Once
+
+	obsShardsDispatched *obs.Counter   // shard jobs handed to a worker (attempts included)
+	obsShardFailovers   *obs.Counter   // shards re-dispatched to a successor worker
+	obsShardBusyRetries *obs.Counter   // 503 backpressure retries against one worker
+	obsShardsFailed     *obs.Counter   // shards that exhausted every candidate
+	obsShardSeconds     *obs.Histogram // one shard job, dispatch → terminal status
+	obsFanOutSeconds    *obs.Histogram // one whole fan-out, shard assignment → merge-ready
+)
+
+// ensureObs registers the package instruments on first use.
+func ensureObs() {
+	clusterObsOnce.Do(func() {
+		r := obs.Default()
+		obsShardsDispatched = r.Counter("cluster_shards_dispatched_total",
+			"shard jobs dispatched to workers, delivery attempts included")
+		obsShardFailovers = r.Counter("cluster_shard_failovers_total",
+			"shards re-dispatched to a successor worker after a failure")
+		obsShardBusyRetries = r.Counter("cluster_shard_busy_retries_total",
+			"shard submissions retried after 503 backpressure")
+		obsShardsFailed = r.Counter("cluster_shards_failed_total",
+			"shards that exhausted every candidate worker")
+		obsShardSeconds = r.Histogram("cluster_shard_seconds",
+			"shard job latency from dispatch to terminal status", nil)
+		obsFanOutSeconds = r.Histogram("cluster_fanout_seconds",
+			"whole campaign fan-out latency across all shards", nil)
+	})
+}

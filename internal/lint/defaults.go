@@ -8,7 +8,10 @@ package lint
 // artifact keys of the content-addressed cache: the suite generator and its
 // building blocks, the codec, the compaction/scheduling rewrites, the
 // report and waveform encoders, and the service layer that hashes and
-// serves the artifacts. internal/obs is included because its spans and
+// serves the artifacts. internal/cluster is included because shard
+// assignment must be a pure function of the item keys and the ring — a
+// wall-clock or map-order dependence there would silently change which
+// worker computes which tally. internal/obs is included because its spans and
 // metric exposition are themselves served artifacts (/v1/traces, /metrics):
 // all wall-clock reads there must flow through its one audited hook.
 // internal/online is included because in-field detector decisions must be
@@ -17,6 +20,7 @@ func DeterministicPaths() []string {
 	return []string{
 		"neurotest",
 		"neurotest/internal/baseline",
+		"neurotest/internal/cluster",
 		"neurotest/internal/compact",
 		"neurotest/internal/core",
 		"neurotest/internal/obs",
@@ -51,10 +55,14 @@ func GoroutineConfig() CtxGoroutineConfig {
 			// The simulation engine must stay sequential per campaign:
 			// parallelism belongs to the pools above.
 			"neurotest/internal/faultsim": {},
+			// fanOut is the coordinator's bounded, recover()-disciplined
+			// shard dispatcher — the only place the cluster layer may spawn.
+			"neurotest/internal/cluster": {"fanOut"},
 		},
 		CtxRequired: map[string][]string{
 			"neurotest/internal/tester":  {"runWorkersCtx", "runWorkers"},
 			"neurotest/internal/service": {"supervised"},
+			"neurotest/internal/cluster": {"fanOut"},
 		},
 	}
 }

@@ -101,6 +101,14 @@ func (s SuiteSpec) build() (*Artifact, error) {
 	if err := pattern.WriteBinary(&buf, ts); err != nil {
 		return nil, err
 	}
+	return s.artifact(ts, buf.Bytes()), nil
+}
+
+// artifact wraps a decoded test set and its encoded bytes into the cache's
+// unit of storage. Shared by the local build path and the peer-fetch path,
+// so a suite fetched from a cluster peer is indistinguishable from a
+// locally generated one — same summary, same lazily memoized ATE.
+func (s SuiteSpec) artifact(ts *pattern.TestSet, encoded []byte) *Artifact {
 	key := s.Key()
 	return &Artifact{
 		Key: key,
@@ -114,12 +122,12 @@ func (s SuiteSpec) build() (*Artifact, error) {
 			Configs:    ts.NumConfigs(),
 			Patterns:   ts.NumPatterns(),
 			TestLength: ts.TestLength(),
-			SizeBytes:  buf.Len(),
+			SizeBytes:  len(encoded),
 		},
-		Bytes: buf.Bytes(),
+		Bytes: encoded,
 		ts:    ts,
 		spec:  s,
-	}, nil
+	}
 }
 
 // SuiteSummary is the JSON shape describing a cached artifact.
@@ -196,6 +204,12 @@ type Cache struct {
 	lru      *list.List               // front = most recently used
 	flight   map[string]*flight
 	metrics  *Metrics
+
+	// peerFetch, when set, is the second cache tier: on a local miss the
+	// cache asks the cluster peers for the encoded suite by content key
+	// before paying for a rebuild. It runs inside the singleflight, so a
+	// stampede of identical requests costs at most one peer round-trip.
+	peerFetch func(key string) ([]byte, error)
 }
 
 // flight is one in-progress computation that concurrent identical requests
@@ -216,6 +230,8 @@ const (
 	SourceHit
 	// SourceDedup: folded into another request's in-flight computation.
 	SourceDedup
+	// SourcePeer: fetched pre-built from a cluster peer's cache.
+	SourcePeer
 )
 
 // String renders the source for response JSON.
@@ -225,6 +241,8 @@ func (s Source) String() string {
 		return "hit"
 	case SourceDedup:
 		return "dedup"
+	case SourcePeer:
+		return "peer"
 	default:
 		return "miss"
 	}
@@ -265,11 +283,18 @@ func (c *Cache) Suite(spec SuiteSpec) (*Artifact, Source, error) {
 	c.flight[key] = f
 	c.mu.Unlock()
 	c.metrics.CacheMisses.Add(1)
-	c.metrics.SuiteGenerations.Add(1)
 
-	timer := obs.StartTimer()
-	art, err := spec.build()
-	timer.ObserveElapsed(c.metrics.ArtifactBuildSeconds)
+	src := SourceMiss
+	art, err := c.fromPeer(spec, key)
+	if art != nil {
+		src = SourcePeer
+		c.metrics.CachePeerHits.Add(1)
+	} else {
+		c.metrics.SuiteGenerations.Add(1)
+		timer := obs.StartTimer()
+		art, err = spec.build()
+		timer.ObserveElapsed(c.metrics.ArtifactBuildSeconds)
+	}
 	if art != nil {
 		art.metrics = c.metrics
 	}
@@ -282,7 +307,52 @@ func (c *Cache) Suite(spec SuiteSpec) (*Artifact, Source, error) {
 	c.mu.Unlock()
 	f.art, f.err = art, err
 	close(f.done)
-	return art, SourceMiss, err
+	return art, src, err
+}
+
+// fromPeer is the second cache tier: fetch the encoded suite by content key
+// from the worker ring and decode it, validating that the bytes really are
+// a structurally sound test set for the requested spec before trusting
+// them. Any failure (no peers, 404s, corrupt bytes, spec mismatch) returns
+// (nil, nil): peer fetch is an optimization, never a correctness
+// dependency, so the caller falls through to a local build.
+func (c *Cache) fromPeer(spec SuiteSpec, key string) (*Artifact, error) {
+	if c.peerFetch == nil {
+		return nil, nil
+	}
+	raw, err := c.peerFetch(key)
+	if err != nil {
+		c.metrics.PeerFetchFailures.Add(1)
+		return nil, nil
+	}
+	ts, err := pattern.ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		c.metrics.PeerFetchFailures.Add(1)
+		return nil, nil
+	}
+	if err := ts.Validate(); err != nil || !archEqual(ts.Arch, spec.Arch) {
+		c.metrics.PeerFetchFailures.Add(1)
+		return nil, nil
+	}
+	return spec.artifact(ts, raw), nil
+}
+
+// SetPeerFetch installs the peer tier (nil disables). Call before serving.
+func (c *Cache) SetPeerFetch(fetch func(key string) ([]byte, error)) {
+	c.peerFetch = fetch
+}
+
+// archEqual compares an encoded arch against the spec's.
+func archEqual(a []int, b snn.Arch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Lookup returns the resident artifact with the given key, or nil. It

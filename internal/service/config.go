@@ -11,6 +11,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -43,6 +44,36 @@ type Config struct {
 	// TraceBuffer bounds the span ring buffer (<= 0 selects the obs
 	// default).
 	TraceBuffer int
+	// Coordinator switches the node into cluster-coordinator mode: campaign
+	// requests are sharded across the Peers ring instead of run locally.
+	// Requires at least one peer.
+	Coordinator bool
+	// Peers is the comma-separated list of peer base URLs (e.g.
+	// "http://w1:7823,http://w2:7823"). On a coordinator it is the worker
+	// ring campaigns shard across; on a worker it is the ring the two-tier
+	// artifact cache peer-fetches from before rebuilding.
+	Peers string
+	// HWDwell simulates the physical tester fixture time every campaign job
+	// spends on the equipment (probe contact, thermal settle) before its
+	// compute runs. It models the part of test cost that parallelizes only
+	// by adding testers — which is exactly what distributing campaigns
+	// across workers buys (0 disables; neurofleet benchmarks set it).
+	HWDwell time.Duration
+}
+
+// PeerList splits Peers into trimmed, non-empty base URLs.
+func (c Config) PeerList() []string {
+	if strings.TrimSpace(c.Peers) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(c.Peers, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -67,6 +98,9 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.PprofAddr, "pprof-addr", c.PprofAddr, "ops listener address for net/http/pprof (empty disables)")
 	fs.StringVar(&c.TraceFile, "trace", c.TraceFile, "file receiving buffered spans as NDJSON on shutdown (empty disables)")
 	fs.IntVar(&c.TraceBuffer, "trace-buffer", c.TraceBuffer, "span ring-buffer capacity (<=0 uses the default)")
+	fs.BoolVar(&c.Coordinator, "coordinator", c.Coordinator, "run as cluster coordinator: shard campaigns across -peers instead of running them locally")
+	fs.StringVar(&c.Peers, "peers", c.Peers, "comma-separated peer base URLs (coordinator: the worker ring; worker: artifact-cache peers)")
+	fs.DurationVar(&c.HWDwell, "hw-dwell", c.HWDwell, "simulated physical tester fixture time per campaign job (0 disables)")
 }
 
 // Validate rejects nonsensical configurations before anything listens.
@@ -79,6 +113,12 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 1 {
 		return fmt.Errorf("service: workers must be >= 1 (got %d)", c.Workers)
+	}
+	if c.Coordinator && len(c.PeerList()) == 0 {
+		return fmt.Errorf("service: -coordinator requires at least one -peers worker URL")
+	}
+	if c.HWDwell < 0 {
+		return fmt.Errorf("service: hw-dwell must be >= 0 (got %s)", c.HWDwell)
 	}
 	return nil
 }

@@ -24,6 +24,8 @@ type Metrics struct {
 	SingleflightDedups atomic.Int64 // concurrent identical requests folded into one computation
 	SuiteGenerations   atomic.Int64 // generation computations actually run
 	GoldenBuilds       atomic.Int64 // ATE golden-trace constructions (memoization misses)
+	CachePeerHits      atomic.Int64 // artifacts fetched from a peer instead of rebuilt
+	PeerFetchFailures  atomic.Int64 // peer artifact fetches that failed (fell back to build)
 
 	// Job lifecycle.
 	JobsSubmitted atomic.Int64
@@ -31,6 +33,7 @@ type Metrics struct {
 	JobsDone      atomic.Int64
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
+	EventsDropped atomic.Int64 // job progress events dropped at the per-job buffer cap
 
 	// Worker pool.
 	WorkersBusy atomic.Int64 // gauge: workers currently running a job
@@ -53,11 +56,14 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"singleflight_dedups": m.SingleflightDedups.Load(),
 		"suite_generations":   m.SuiteGenerations.Load(),
 		"golden_builds":       m.GoldenBuilds.Load(),
+		"cache_peer_hits":     m.CachePeerHits.Load(),
+		"peer_fetch_failures": m.PeerFetchFailures.Load(),
 		"jobs_submitted":      m.JobsSubmitted.Load(),
 		"jobs_rejected":       m.JobsRejected.Load(),
 		"jobs_done":           m.JobsDone.Load(),
 		"jobs_failed":         m.JobsFailed.Load(),
 		"jobs_cancelled":      m.JobsCancelled.Load(),
+		"events_dropped":      m.EventsDropped.Load(),
 		"workers_busy":        m.WorkersBusy.Load(),
 	}
 }
@@ -77,6 +83,8 @@ func (m *Metrics) register(r *obs.Registry) {
 	r.CounterFunc("neurotestd_singleflight_dedups_total", "identical concurrent requests folded into one computation", view(&m.SingleflightDedups))
 	r.CounterFunc("neurotestd_suite_generations_total", "suite generation computations actually run", view(&m.SuiteGenerations))
 	r.CounterFunc("neurotestd_golden_builds_total", "ATE golden-trace constructions (memoization misses)", view(&m.GoldenBuilds))
+	r.CounterFunc("neurotestd_cache_peer_hits_total", "artifacts fetched from a cluster peer instead of rebuilt", view(&m.CachePeerHits))
+	r.CounterFunc("neurotestd_peer_fetch_failures_total", "peer artifact fetches that failed and fell back to a local build", view(&m.PeerFetchFailures))
 	r.CounterFunc("neurotestd_jobs_submitted_total", "campaign jobs accepted into the queue", view(&m.JobsSubmitted))
 	r.CounterFunc("neurotestd_jobs_rejected_total", "campaign jobs refused with 503 backpressure", view(&m.JobsRejected))
 	r.CounterFunc("neurotestd_jobs_finished_total", "campaign jobs by terminal state",
@@ -85,6 +93,7 @@ func (m *Metrics) register(r *obs.Registry) {
 		view(&m.JobsFailed), obs.L("state", "failed"))
 	r.CounterFunc("neurotestd_jobs_finished_total", "campaign jobs by terminal state",
 		view(&m.JobsCancelled), obs.L("state", "cancelled"))
+	r.CounterFunc("neurotestd_job_events_dropped_total", "job progress events dropped at the per-job buffer cap", view(&m.EventsDropped))
 	r.GaugeFunc("neurotestd_workers_busy", "workers currently running a job", view(&m.WorkersBusy))
 
 	m.ArtifactBuildSeconds = r.Histogram("neurotestd_artifact_build_seconds",

@@ -69,12 +69,16 @@ type Job struct {
 
 	// events is the append-only stream of intermediate progress values a
 	// running job publishes (alarm notifications, per-chip verdicts); the
-	// streaming endpoint drains it alongside status snapshots.
-	events []any
+	// streaming endpoint drains it alongside status snapshots. dropped
+	// counts publishes refused at the buffer cap so the loss is visible in
+	// the job's terminal status instead of silent.
+	events  []any
+	dropped int64
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	run    func(ctx context.Context, j *Job) (any, error)
+	ctx     context.Context
+	cancel  context.CancelFunc
+	run     func(ctx context.Context, j *Job) (any, error)
+	metrics *Metrics
 }
 
 // maxJobEvents caps the per-job event buffer: a runaway publisher degrades
@@ -83,11 +87,17 @@ type Job struct {
 const maxJobEvents = 4096
 
 // Publish appends one progress event to the job's stream and wakes
-// streaming watchers. Events beyond the buffer cap are dropped.
+// streaming watchers. Events beyond the buffer cap are dropped — but never
+// silently: each drop is counted on the job (surfaced as events_dropped in
+// its status, terminal line included) and on the daemon-wide obs counter.
 func (j *Job) Publish(ev any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if len(j.events) >= maxJobEvents {
+		j.dropped++
+		if j.metrics != nil {
+			j.metrics.EventsDropped.Add(1)
+		}
 		return
 	}
 	j.events = append(j.events, ev)
@@ -109,16 +119,20 @@ func (j *Job) Events(n int) []any {
 	return out
 }
 
-// JobStatus is the JSON shape of a job snapshot.
+// JobStatus is the JSON shape of a job snapshot. EventsDropped reports how
+// many progress events the job lost at the buffer cap; it appears on every
+// snapshot from the first drop on, so the terminal status line always
+// discloses the loss.
 type JobStatus struct {
-	ID       string     `json:"id"`
-	Kind     string     `json:"kind"`
-	State    string     `json:"state"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Result   any        `json:"result,omitempty"`
+	ID            string     `json:"id"`
+	Kind          string     `json:"kind"`
+	State         string     `json:"state"`
+	Created       time.Time  `json:"created"`
+	Started       *time.Time `json:"started,omitempty"`
+	Finished      *time.Time `json:"finished,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	Result        any        `json:"result,omitempty"`
+	EventsDropped int64      `json:"events_dropped,omitempty"`
 }
 
 // Status snapshots the job for JSON rendering.
@@ -126,12 +140,13 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.ID,
-		Kind:    j.Kind,
-		State:   j.state.String(),
-		Created: j.created,
-		Error:   j.errMsg,
-		Result:  j.result,
+		ID:            j.ID,
+		Kind:          j.Kind,
+		State:         j.state.String(),
+		Created:       j.created,
+		Error:         j.errMsg,
+		Result:        j.result,
+		EventsDropped: j.dropped,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -293,6 +308,7 @@ func (q *Queue) SubmitJob(kind string, run func(ctx context.Context, j *Job) (an
 		ctx:     ctx,
 		cancel:  cancel,
 		run:     run,
+		metrics: q.metrics,
 	}
 	q.mu.Lock()
 	if q.closed {

@@ -175,3 +175,57 @@ func TestQueueCloseRefusesAndDrains(t *testing.T) {
 		t.Errorf("submit after close: %v, want ErrQueueClosed", err)
 	}
 }
+
+func TestPublishOverfillCountsDrops(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(1, 1, m)
+	defer q.Close()
+
+	const overflow = 10
+	j, err := q.SubmitJob("test", func(ctx context.Context, j *Job) (any, error) {
+		for i := 0; i < maxJobEvents+overflow; i++ {
+			j.Publish(i)
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobDone)
+
+	if got := len(j.Events(0)); got != maxJobEvents {
+		t.Errorf("buffered events = %d, want the %d cap", got, maxJobEvents)
+	}
+	st := j.Status()
+	if st.EventsDropped != overflow {
+		t.Errorf("terminal status events_dropped = %d, want %d", st.EventsDropped, overflow)
+	}
+	if got := m.EventsDropped.Load(); got != overflow {
+		t.Errorf("metrics events_dropped = %d, want %d", got, overflow)
+	}
+	if snap := m.Snapshot(); snap["events_dropped"] != overflow {
+		t.Errorf("snapshot events_dropped = %d, want %d", snap["events_dropped"], overflow)
+	}
+}
+
+func TestPublishUnderCapDropsNothing(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(1, 1, m)
+	defer q.Close()
+
+	j, err := q.SubmitJob("test", func(ctx context.Context, j *Job) (any, error) {
+		j.Publish("one")
+		j.Publish("two")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobDone)
+	if st := j.Status(); st.EventsDropped != 0 {
+		t.Errorf("events_dropped = %d, want 0", st.EventsDropped)
+	}
+	if got := m.EventsDropped.Load(); got != 0 {
+		t.Errorf("metrics events_dropped = %d, want 0", got)
+	}
+}

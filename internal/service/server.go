@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"neurotest/internal/apptest"
+	"neurotest/internal/cluster"
 	"neurotest/internal/fault"
 	"neurotest/internal/obs"
 	"neurotest/internal/online"
@@ -49,6 +50,13 @@ type Server struct {
 	recorder *obs.Recorder
 	mux      *http.ServeMux
 	started  time.Time
+
+	// Cluster role (nil/empty on a standalone node): coord shards campaigns
+	// across the ring in coordinator mode; peerRing/peerClients back the
+	// artifact cache's peer tier and the healthz reachability sweep.
+	coord       *cluster.Coordinator
+	peerRing    *cluster.Ring
+	peerClients []*cluster.Client
 }
 
 // New builds a server (no listener; see Handler and ListenAndServe).
@@ -70,6 +78,7 @@ func New(cfg Config) *Server {
 		started:  now(),
 	}
 	s.registerGauges()
+	s.initCluster()
 	s.routes()
 	return s
 }
@@ -123,6 +132,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
 	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /v1/shards/coverage", s.handleCoverageShard)
+	s.mux.HandleFunc("POST /v1/shards/sessions", s.handleSessionsShard)
 	s.mux.HandleFunc("POST /v1/monitor", s.handleMonitor)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -418,7 +429,14 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badf("sample must be >= 0 (got %d)", req.Sample))
 		return
 	}
+	if s.coord != nil {
+		s.submitCoverageFanout(w, r, req, spec)
+		return
+	}
 	s.submit(w, r, "coverage", func(ctx context.Context) (any, error) {
+		if err := s.dwell(ctx); err != nil {
+			return nil, err
+		}
 		// The trace ID derives from the artifact key, so re-running the same
 		// campaign yields the same trace and span IDs.
 		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|coverage"), "coverage")
@@ -487,7 +505,14 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	if s.coord != nil {
+		s.submitSessionsFanout(w, r, req, spec, prof.String())
+		return
+	}
 	s.submit(w, r, "sessions", func(ctx context.Context) (any, error) {
+		if err := s.dwell(ctx); err != nil {
+			return nil, err
+		}
 		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|sessions"), "sessions")
 		defer root.End()
 		root.SetAttr("profile", prof.String())
@@ -614,6 +639,9 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 		samples = 64
 	}
 	s.submitJob(w, r, "monitor", func(ctx context.Context, job *Job) (any, error) {
+		if err := s.dwell(ctx); err != nil {
+			return nil, err
+		}
 		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|monitor"), "monitor")
 		defer root.End()
 		root.SetAttr("profile", prof.String())
@@ -845,11 +873,11 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// handleHealthz answers the shared cluster.Health shape: liveness plus
+// queue/pool saturation, and — on cluster nodes — per-peer reachability
+// (see clusterHealth for the recursion guard).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": now().Sub(s.started).Seconds(),
-	})
+	writeJSON(w, http.StatusOK, s.clusterHealth(r))
 }
 
 // handleMetrics serves the typed registry as Prometheus text by default and

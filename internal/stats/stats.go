@@ -247,3 +247,33 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	return xs[lo]*(1-frac) + xs[lo+1]*frac
 }
+
+// MergeSorted merges two ascending-sorted sample sets into one ascending
+// slice in O(len(a)+len(b)). Shard-local latency samples arrive pre-sorted
+// (each worker sorts once); merging with MergeSorted instead of
+// re-concatenating and re-sorting keeps Quantile on its documented O(n)
+// sorted fast path for the cluster-wide distribution. Inputs are never
+// modified; the result is freshly allocated unless one input is empty, in
+// which case the other is returned as-is.
+func MergeSorted(a, b []float64) []float64 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

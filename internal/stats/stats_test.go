@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -228,4 +229,70 @@ func assertPanics(t *testing.T, name string, f func()) {
 		}
 	}()
 	f()
+}
+
+func TestMergeSorted(t *testing.T) {
+	a := []float64{1, 3, 3, 7}
+	b := []float64{2, 3, 8}
+	got := MergeSorted(a, b)
+	want := []float64{1, 2, 3, 3, 3, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged[%d] = %g, want %g (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if a[0] != 1 || b[0] != 2 {
+		t.Errorf("inputs modified: a=%v b=%v", a, b)
+	}
+	if out := MergeSorted(nil, b); len(out) != len(b) {
+		t.Errorf("empty-left merge = %v", out)
+	}
+	if out := MergeSorted(a, nil); len(out) != len(a) {
+		t.Errorf("empty-right merge = %v", out)
+	}
+	if out := MergeSorted(nil, nil); len(out) != 0 {
+		t.Errorf("empty merge = %v", out)
+	}
+}
+
+func TestMergeSortedStaysSorted(t *testing.T) {
+	// Property: for sorted inputs the merge is sorted (so Quantile keeps
+	// its O(n) fast path) and Quantile over the merge equals Quantile over
+	// the re-sorted concatenation bit-identically.
+	rng := NewRNG(5)
+	check := func(na, nb int) {
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		sortFloats(a)
+		sortFloats(b)
+		merged := MergeSorted(a, b)
+		concat := append(append([]float64{}, a...), b...)
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if Quantile(merged, q) != Quantile(concat, q) {
+				t.Fatalf("Quantile(%g) differs: merged %g vs concat %g",
+					q, Quantile(merged, q), Quantile(concat, q))
+			}
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i-1] > merged[i] {
+				t.Fatalf("merge not sorted at %d: %v", i, merged)
+			}
+		}
+	}
+	for _, sizes := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {17, 4}, {100, 63}} {
+		check(sizes[0], sizes[1])
+	}
+}
+
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
 }

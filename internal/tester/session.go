@@ -296,7 +296,8 @@ func (s *SessionStats) add(rep SessionReport) {
 	s.BudgetSpent += rep.BudgetSpent
 }
 
-// merge folds worker-local stats into s.
+// merge folds worker-local stats into s. Chips is managed by the caller
+// (only completed sessions count), so it is deliberately not summed here.
 func (s *SessionStats) merge(o SessionStats) {
 	s.Pass += o.Pass
 	s.Fail += o.Fail
@@ -307,6 +308,21 @@ func (s *SessionStats) merge(o SessionStats) {
 	s.DroppedReads += o.DroppedReads
 	s.BudgetSpent += o.BudgetSpent
 	s.Errors = append(s.Errors, o.Errors...)
+}
+
+// MergeSessionStats folds K partial session tallies over disjoint chip
+// shards into the whole-population stats. Every field is an integer count,
+// so the merge is exact: the rates and amplification of the merged stats
+// are bit-identical to a single campaign over the whole population — the
+// invariant the cluster coordinator relies on to re-assemble sharded
+// /v1/sessions campaigns. Errors concatenate in argument order.
+func MergeSessionStats(parts ...SessionStats) SessionStats {
+	var out SessionStats
+	for _, p := range parts {
+		out.Chips += p.Chips
+		out.merge(p)
+	}
+	return out
 }
 
 // MeasureSessions runs n independent chip sessions in parallel and
@@ -326,8 +342,18 @@ func (a *ATE) MeasureSessions(n int, mods func(i int) *snn.Modifiers, prof unrel
 // with the partial stats, whose Chips counts only the sessions actually run
 // — so the rates stay meaningful over the evaluated population.
 func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int) *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) (SessionStats, error) {
+	return a.MeasureSessionsAtContext(ctx, identityIndices(max(n, 0)), mods, prof, vary, policy, seed)
+}
+
+// MeasureSessionsAtContext runs sessions for exactly the chips whose global
+// population indices are listed in idx. Chip i's session seed derives from
+// its global index — chipSeed(seed, i) — never from its position in idx or
+// the worker that runs it, so running a partition of the population across
+// separate calls (or cluster nodes) and folding the partial stats with
+// MergeSessionStats reproduces the whole-population campaign bit-exactly.
+func (a *ATE) MeasureSessionsAtContext(ctx context.Context, idx []int, mods func(i int) *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) (SessionStats, error) {
 	var stats SessionStats
-	if n <= 0 {
+	if len(idx) == 0 {
 		return stats, ctx.Err()
 	}
 	// Reject malformed reliability profiles before any session draws noise:
@@ -341,7 +367,7 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 	timer := obs.StartTimer()
 	defer func() { timer.ObserveElapsed(sessionsCampaignSeconds) }()
 	ctx, span := obs.StartSpan(ctx, "measure")
-	span.SetAttr("chips", strconv.Itoa(n))
+	span.SetAttr("chips", strconv.Itoa(len(idx)))
 	defer span.End()
 	perChip := func(i int, w int) (rep SessionReport, err error) {
 		defer func() {
@@ -355,9 +381,11 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 		}
 		return a.RunChipSession(m, prof, vary, policy, chipSeed(seed, i)), nil
 	}
-	results, done := runWorkersCtx(ctx, n, func(i, w int) SessionStats {
-		// Per-chip spans carry the binning verdict; distinct names give
-		// scheduling-independent span IDs under the concurrent pool.
+	results, done := runWorkersCtx(ctx, len(idx), func(k, w int) SessionStats {
+		i := idx[k]
+		// Per-chip spans carry the binning verdict; distinct names (by
+		// global chip index) give scheduling-independent span IDs under the
+		// concurrent pool.
 		_, chipSpan := obs.StartSpan(ctx, "chip-"+strconv.Itoa(i))
 		var local SessionStats
 		rep, err := perChip(i, w)
@@ -371,8 +399,8 @@ func (a *ATE) MeasureSessionsContext(ctx context.Context, n int, mods func(i int
 		chipSpan.End()
 		return local
 	})
-	for i, r := range results {
-		if !done[i] {
+	for k, r := range results {
+		if !done[k] {
 			continue
 		}
 		stats.Chips++
