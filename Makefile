@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt build vet neurolint test race fuzz bench serve fleet
+.PHONY: check fmt build vet neurolint lint-self lint-json test race fuzz bench serve fleet
 
 # check is the tier-1 gate: everything CI runs, runnable locally.
-check: fmt vet build neurolint test race
+check: fmt vet build neurolint lint-self lint-json test race
 
 # fmt fails (listing the offenders) when any file is not gofmt-clean.
 fmt:
@@ -22,6 +22,21 @@ vet:
 # finding.
 neurolint:
 	$(GO) run ./cmd/neurolint ./...
+
+# lint-self turns the suite on its own implementation: the analyzer
+# framework and the command must satisfy every invariant they enforce
+# (fixture trees under testdata/ are skipped by Expand, as everywhere).
+lint-self:
+	$(GO) run ./cmd/neurolint ./internal/lint/... ./cmd/neurolint
+
+# lint-json asserts the machine-readable contract: the -json report must
+# parse and carry its two top-level fields. Findings themselves do not
+# fail this step (the neurolint target gates on them); a malformed
+# document does.
+lint-json:
+	@report="$$($(GO) run ./cmd/neurolint -json ./... || true)"; \
+	printf '%s\n' "$$report" | jq -e 'has("count") and has("findings")' > /dev/null \
+		&& echo "neurolint -json: valid report"
 
 # -shuffle=on randomizes test order so inter-test coupling cannot hide.
 test:

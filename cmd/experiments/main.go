@@ -179,6 +179,7 @@ func writeTrace(path string, rec *obs.Recorder) error {
 		return err
 	}
 	if err := rec.WriteNDJSON(f); err != nil {
+		//lint:ignore unchecked-error the write error already reports the failure; close is cleanup on the error path
 		f.Close()
 		return err
 	}

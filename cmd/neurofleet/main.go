@@ -106,6 +106,7 @@ func main() {
 	fs.DurationVar(&o.sloP99, "slo-p99", 10*time.Second, "declared p99 latency SLO for the final (largest) leg")
 	fs.Float64Var(&o.minSpeedup, "min-speedup", 2.0, "required final-leg/first-leg throughput ratio (0 disables)")
 	fs.StringVar(&o.out, "out", "", "also write the JSON report to this file")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(os.Args[1:])
 
 	arch, err := parseArch(o.arch)
@@ -153,7 +154,9 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
 	if o.out != "" {
 		if err := writeReport(o.out, report); err != nil {
 			fatal(err)
@@ -189,6 +192,7 @@ type node struct {
 }
 
 func (n *node) close() {
+	//lint:ignore unchecked-error best-effort teardown of an in-process bench node; a stuck listener cannot affect the measured legs
 	n.hs.Close()
 	n.srv.Close()
 }
@@ -199,6 +203,7 @@ func startNode(cfg service.Config, ln net.Listener) *node {
 	s := service.New(cfg)
 	hs := &http.Server{Handler: s.Handler()}
 	n := &node{srv: s, hs: hs, url: "http://" + ln.Addr().String()}
+	//lint:ignore unchecked-error Serve returns ErrServerClosed at teardown; a transport failure surfaces as campaign errors in the leg result
 	go hs.Serve(ln)
 	return n
 }
@@ -350,6 +355,7 @@ func writeReport(path string, report benchReport) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
+		//lint:ignore unchecked-error the encode error already reports the failure; close is cleanup on the error path
 		f.Close()
 		return err
 	}

@@ -1,19 +1,28 @@
 // Command neurolint runs the project's static-analysis suite (see
-// internal/lint and DESIGN.md §10) over module packages.
+// internal/lint and DESIGN.md §10/§15) over module packages.
 //
 // Usage:
 //
-//	neurolint [-checks list] [-list] [packages]
+//	neurolint [-checks list] [-list] [-json] [-baseline file] [-write-baseline file] [packages]
 //
-// Packages default to ./... relative to the enclosing module. The exit
-// code is 0 when the tree is clean, 1 when any un-suppressed finding is
-// reported, and 2 on usage or load errors — so `neurolint ./...` gates
-// `make check` and CI.
+// Packages default to ./... relative to the enclosing module. All
+// requested packages are loaded before any analyzer runs, so the
+// module-wide analyzers (the call-graph determinism closure) see every
+// cross-package edge of the requested world.
+//
+// -json emits the findings as a machine-readable report with a stable
+// field order and module-root-relative paths. -baseline filters the
+// findings against a previously saved report so CI fails only on *new*
+// findings; -write-baseline records the current findings as that file.
+// The exit code is 0 when the tree is clean (or fully baselined), 1 when
+// any new un-suppressed finding is reported, and 2 on usage or load
+// errors — so `neurolint ./...` gates `make check` and CI.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,13 +34,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("neurolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list the available checks and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a machine-readable JSON report")
+	baselinePath := fs.String("baseline", "", "report only findings absent from this saved report")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings as a baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: neurolint [-checks list] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: neurolint [-checks list] [-list] [-json] [-baseline file] [-write-baseline file] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -41,7 +53,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	analyzers := lint.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-24s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-28s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -69,20 +81,70 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	runner := &lint.Runner{Analyzers: analyzers}
-	found := false
+	pkgs := make([]*lint.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		for _, f := range runner.Package(pkg) {
-			found = true
-			fmt.Fprintln(stdout, relativize(f))
-		}
+		pkgs = append(pkgs, pkg)
 	}
-	if found {
+	runner := &lint.Runner{Analyzers: analyzers}
+	findings := runner.Packages(pkgs)
+
+	// Stable identity for reports and baselines: module-root-relative
+	// slash paths, identical across checkouts and machines.
+	moduleRel := func(abs string) string {
+		rel, err := filepath.Rel(loader.ModuleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return abs
+		}
+		return filepath.ToSlash(rel)
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		werr := lint.NewJSONReport(findings, moduleRel).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "neurolint: baseline %s written with %d finding(s)\n", *writeBaseline, len(findings))
+		return 0
+	}
+
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = base.Filter(findings, moduleRel)
+	}
+
+	if *jsonOut {
+		if err := lint.NewJSONReport(findings, moduleRel).Write(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	for _, f := range findings {
+		fmt.Fprintln(stdout, relativize(f))
+	}
+	if len(findings) > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,12 @@
+// Package sample is the neurolint command's own test fixture: one known
+// finding, golden-matched against the -json report.
+package sample
+
+import "strconv"
+
+// Parse drops the conversion error, which the unchecked-error check
+// reports.
+func Parse(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}

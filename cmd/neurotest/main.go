@@ -176,6 +176,7 @@ func cmdGenerate(args []string) error {
 	varAware := fs.Bool("variation-aware", false, "use the variation-tolerant Table 1/2 settings")
 	out := fs.String("o", "", "output file (default: summary to stdout only)")
 	asJSON := fs.Bool("json", false, "write JSON instead of compact binary")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -224,6 +225,7 @@ func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "input file")
 	asJSON := fs.Bool("json-in", false, "input is JSON instead of compact binary")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 	if *in == "" {
 		return usagef("missing -i")
@@ -263,6 +265,7 @@ func cmdCoverage(args []string) error {
 	bits := fs.Int("bits", 0, "quantize configurations to this many bits (0 = ideal)")
 	gran := fs.String("granularity", "channel", "quantization granularity: network, boundary, channel")
 	traceOut := fs.String("trace", "", "write campaign phase spans to this file as NDJSON")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -346,6 +349,7 @@ func writeTrace(path string, rec *obs.Recorder) error {
 		return err
 	}
 	if err := rec.WriteNDJSON(f); err != nil {
+		//lint:ignore unchecked-error the write error already reports the failure; close is cleanup on the error path
 		f.Close()
 		return err
 	}
@@ -357,6 +361,7 @@ func cmdDiagnose(args []string) error {
 	archFlag := fs.String("arch", "96-48-16-8", "layer widths, dash separated")
 	inject := fs.String("inject", "", `defect to inject, e.g. "HSF:2,5" (kind:layer,index; 1-based, paper style) or "SWF:1,3,4" (kind:boundary,pre,post)`)
 	maxCandidates := fs.Int("max-candidates", 10, "how many candidate faults to print")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -454,6 +459,7 @@ func cmdMargins(args []string) error {
 	varAware := fs.Bool("variation-aware", true, "analyse the variation-tolerant program")
 	confidence := fs.Float64("confidence", 3, "sigma multiplier c of Eq. 4")
 	worst := fs.Int("worst", 8, "how many binding decisions to list")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -522,6 +528,7 @@ func cmdFlaky(args []string) error {
 	vote := fs.Bool("vote", true, "best-2-of-3 voting on disputed items (false: one retest decides)")
 	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
 	verbose := fs.Bool("v", false, "print per-point progress to stderr")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	// Validate everything up front so a bad combination dies with a usage
@@ -593,6 +600,7 @@ func cmdOnline(args []string) error {
 	drop := fs.Float64("drop", 0, "probability a readout is dropped entirely")
 	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
 	verbose := fs.Bool("v", false, "print per-point progress to stderr")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)
@@ -655,6 +663,7 @@ func cmdServe(args []string) error {
 	cfg := service.DefaultConfig()
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cfg.RegisterFlags(fs)
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 	if err := cfg.Validate(); err != nil {
 		return asUsage(err)
@@ -669,6 +678,7 @@ func cmdTrace(args []string) error {
 	inject := fs.String("inject", "", `optional defect, e.g. "HSF:2,5" or "SWF:1,3,4"`)
 	charge := fs.Bool("charge", true, "also dump weighted input sums as real signals")
 	out := fs.String("o", "", "output VCD file (default stdout)")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(args)
 
 	arch, err := parseArch(*archFlag)

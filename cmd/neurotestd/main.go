@@ -45,6 +45,7 @@ func main() {
 	cfg := service.DefaultConfig()
 	fs := flag.NewFlagSet("neurotestd", flag.ExitOnError)
 	cfg.RegisterFlags(fs)
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
 	fs.Parse(os.Args[1:])
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

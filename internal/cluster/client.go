@@ -105,6 +105,18 @@ func (c *Client) RunJob(ctx context.Context, path string, payload any, onEvent f
 	return res, err
 }
 
+// drainClose consumes any unread response bytes and closes the body, so
+// the keep-alive connection returns to the transport's pool instead of
+// being torn down. Both errors are deliberately dropped: by the time a
+// body is drained the response itself has already been handled (or
+// discarded on purpose), and a failed drain costs only connection reuse.
+func drainClose(body io.ReadCloser) {
+	//lint:ignore unchecked-error best-effort drain for connection reuse; the response was already handled
+	io.Copy(io.Discard, body)
+	//lint:ignore unchecked-error read-side close after the response was consumed; nothing actionable to report
+	body.Close()
+}
+
 // submit POSTs the job, retrying 503s, and returns the accepted job ID.
 func (c *Client) submit(ctx context.Context, path string, body []byte) (string, error) {
 	for attempt := 0; ; attempt++ {
@@ -119,8 +131,7 @@ func (c *Client) submit(ctx context.Context, path string, body []byte) (string, 
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			retryAfter := resp.Header.Get("Retry-After")
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			drainClose(resp.Body)
 			if attempt >= c.busyRetries {
 				return "", fmt.Errorf("cluster: %s%s still refusing after %d retries (backpressure)", c.Base, path, attempt)
 			}
@@ -132,7 +143,7 @@ func (c *Client) submit(ctx context.Context, path string, body []byte) (string, 
 		}
 		var st JobStatus
 		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
+		drainClose(resp.Body)
 		if resp.StatusCode != http.StatusAccepted {
 			return "", fmt.Errorf("cluster: %s%s: %s (%s)", c.Base, path, resp.Status, st.Error)
 		}
@@ -194,8 +205,7 @@ func (c *Client) cancelJob(id string) {
 		return
 	}
 	if resp, err := c.ctl.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		drainClose(resp.Body)
 	}
 }
 

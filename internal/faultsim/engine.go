@@ -215,6 +215,7 @@ func (e *Evaluator) Detects(f fault.Fault) bool { return e.DetectingItem(f) >= 0
 
 // DetectingItem returns the index of the first item that detects f, or -1.
 func (e *Evaluator) DetectingItem(f fault.Fault) int {
+	//lint:ignore unchecked-error context.Background() never cancels, and cancellation is the only error DetectingItemContext returns
 	i, _ := e.DetectingItemContext(context.Background(), f)
 	return i
 }

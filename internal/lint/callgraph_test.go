@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// interdetPrefix is the full-name prefix of functions in the interdet
+// fixture tree.
+const interdetPrefix = "neurotest/internal/lint/testdata/src/interdet"
+
+func TestCallGraphEdgesAndReverseBFS(t *testing.T) {
+	pkgs := loadFixtures(t, []string{"interdet", "interdet/impure"})
+	g := BuildCallGraph(pkgs)
+
+	entry := interdetPrefix + ".Entry"
+	helper := interdetPrefix + "/impure.Helper"
+	middle := interdetPrefix + "/impure.middle"
+	deep := interdetPrefix + "/impure.deep"
+
+	for _, key := range []string{entry, helper, middle, deep} {
+		if g.Funcs[key] == nil {
+			t.Fatalf("Funcs missing %s; have %d nodes", key, len(g.Funcs))
+		}
+	}
+	hasEdge := func(from, to string) bool {
+		for _, e := range g.Edges[from] {
+			if e.Callee == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(entry, helper) || !hasEdge(helper, middle) || !hasEdge(middle, deep) {
+		t.Fatalf("expected chain edges missing: %v", g.Edges[entry])
+	}
+	// time.Now is called but not declared in the loaded set: it must
+	// appear as an edge target with no Funcs node.
+	stamp := interdetPrefix + "/impure.Stamp"
+	if !hasEdge(stamp, "time.Now") {
+		t.Errorf("Stamp → time.Now edge missing: %v", g.Edges[stamp])
+	}
+	if g.Funcs["time.Now"] != nil {
+		t.Errorf("time.Now must not be a declared node")
+	}
+
+	dist, next := g.ReverseBFS(map[string]bool{deep: true})
+	if dist[deep] != 0 || dist[middle] != 1 || dist[helper] != 2 || dist[entry] != 3 {
+		t.Errorf("dist = %v", dist)
+	}
+	if _, tainted := dist[interdetPrefix+".Fine"]; tainted {
+		t.Errorf("Fine reaches no sink but is tainted")
+	}
+	chain := g.Chain(helper, next, func(k string) string {
+		if k == deep {
+			return "impure.deep (sink)"
+		}
+		return ""
+	})
+	if chain != "impure.Helper → impure.middle → impure.deep (sink)" {
+		t.Errorf("Chain = %q", chain)
+	}
+}
+
+func TestDisplayKey(t *testing.T) {
+	cases := map[string]string{
+		"neurotest/internal/stats.Mean":            "stats.Mean",
+		"(*neurotest/internal/obs.Registry).Count": "(*obs.Registry).Count",
+		"(neurotest/internal/snn.Result).Equal":    "(snn.Result).Equal",
+		"time.Now":                                 "time.Now",
+		"main.run":                                 "main.run",
+	}
+	for in, want := range cases {
+		if got := displayKey(in); got != want {
+			t.Errorf("displayKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCallGraphAttributesFuncLitCallsToEnclosingDecl(t *testing.T) {
+	// uncheckederr's droppedInGoStmt spawns via a go statement; calls in
+	// literals and statements alike attribute to the declaring function.
+	pkgs := loadFixtures(t, []string{"uncheckederr"})
+	g := BuildCallGraph(pkgs)
+	caller := fixtureBase + "uncheckederr.droppedInGoStmt"
+	found := false
+	for _, e := range g.Edges[caller] {
+		if strings.HasSuffix(e.Callee, "uncheckederr.fail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("go-statement call not attributed to %s: %v", caller, g.Edges[caller])
+	}
+}

@@ -1,0 +1,385 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and answers the all-paths queries the flow-aware
+// neurolint analyzers depend on: "does every execution path from this
+// statement to the function exit pass through a node satisfying a
+// predicate?" — the shape of both lock-balance (every Lock is matched by
+// an Unlock on every path) and resource-close (every acquired closer is
+// closed on every path).
+//
+// The graph is deliberately syntactic and conservative. Basic blocks hold
+// the statements (and branch conditions) executed in order; edges follow
+// if/else, for/range, switch, type switch, select, labeled break/continue
+// and fallthrough. Three exits are modeled separately:
+//
+//   - Exit: ordinary function completion (falling off the end or return);
+//   - PanicExit: paths that end in panic, runtime.Goexit, os.Exit or a
+//     log.Fatal* — queries may exempt these, because a panicking frame
+//     still runs its deferred calls and a dying process holds no locks
+//     anyone will wait on;
+//   - infinite loops and empty selects simply never reach an exit, and are
+//     vacuously safe for an "on all paths to the exit" query.
+//
+// goto is the one construct not modeled: a graph built over a body that
+// contains one sets Incomplete, and analyzers skip such functions rather
+// than report findings derived from wrong edges. The module contains no
+// goto today; the flag keeps that a silent future-proofing, not a crash.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: nodes executed strictly in order, then a
+// transfer to one of Succs.
+type Block struct {
+	// Nodes are statements, plus the condition/tag expressions of the
+	// branch that ends the block, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit represents ordinary completion (return or falling off the end).
+	Exit *Block
+	// PanicExit represents termination via panic/Goexit/os.Exit/log.Fatal.
+	PanicExit *Block
+	// Incomplete is set when the body uses a construct the builder does
+	// not model (goto); query results would be unsound, so analyzers
+	// must skip the function.
+	Incomplete bool
+
+	blocks  []*Block
+	byNode  map[ast.Node]*Block
+	indexOf map[ast.Node]int
+}
+
+// New builds the graph of body. A nil body (declaration without a body)
+// yields an empty graph whose Entry is its Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		byNode:  make(map[ast.Node]*Block),
+		indexOf: make(map[ast.Node]int),
+	}
+	g.Exit = g.newBlock()
+	g.PanicExit = g.newBlock()
+	g.Entry = g.newBlock()
+	if body == nil {
+		g.Entry.Succs = append(g.Entry.Succs, g.Exit)
+		return g
+	}
+	b := &builder{g: g, cur: g.Entry}
+	b.stmtList(body.List)
+	b.jump(g.Exit) // falling off the end of the body
+	return g
+}
+
+// newBlock allocates a block registered with the graph.
+func (g *Graph) newBlock() *Block {
+	b := &Block{}
+	g.blocks = append(g.blocks, b)
+	return b
+}
+
+// add appends a node to a block and records its position for queries.
+func (g *Graph) add(b *Block, n ast.Node) {
+	g.byNode[n] = b
+	g.indexOf[n] = len(b.Nodes)
+	b.Nodes = append(b.Nodes, n)
+}
+
+// loopFrame tracks the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label          string
+	breakTarget    *Block
+	continueTarget *Block // nil for switch/select frames
+}
+
+// builder threads the current block through the statement walk.
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []loopFrame
+	// label pending on the next loop/switch statement.
+	pendingLabel string
+}
+
+// jump ends the current block with an edge to target and starts a fresh,
+// unreachable block for any (dead) code that follows.
+func (b *builder) jump(target *Block) {
+	b.cur.Succs = append(b.cur.Succs, target)
+	b.cur = b.g.newBlock()
+}
+
+// branch adds an edge without ending the block's construction elsewhere.
+func (b *builder) branch(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.g.add(b.cur, s)
+		b.jump(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s, s.Init, nil, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ExprStmt:
+		b.g.add(b.cur, s)
+		if terminatesProcess(s.X) {
+			b.jump(b.g.PanicExit)
+		}
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		b.g.add(b.cur, s)
+	}
+}
+
+// branchStmt wires break/continue to the innermost (or labeled) frame.
+// goto marks the graph incomplete.
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.g.add(b.cur, s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.jump(f.breakTarget)
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTarget != nil && (label == "" || f.label == label) {
+				b.jump(f.continueTarget)
+				return
+			}
+		}
+	case "fallthrough":
+		// Handled structurally by switchStmt; reaching here means a
+		// malformed tree. Fall through to the incomplete marking.
+	}
+	b.g.Incomplete = true
+	b.jump(b.g.Exit)
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.g.add(b.cur, s.Init)
+	}
+	b.g.add(b.cur, s.Cond)
+	condBlock := b.cur
+	after := b.g.newBlock()
+
+	b.cur = b.g.newBlock()
+	b.branch(condBlock, b.cur)
+	b.stmtList(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		b.cur = b.g.newBlock()
+		b.branch(condBlock, b.cur)
+		b.stmt(s.Else)
+		b.jump(after)
+	} else {
+		b.branch(condBlock, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.g.add(b.cur, s.Init)
+	}
+	head := b.g.newBlock()
+	after := b.g.newBlock()
+	post := b.g.newBlock()
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.g.add(head, s.Cond)
+		b.branch(head, after)
+	}
+	body := b.g.newBlock()
+	b.branch(head, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTarget: post})
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jump(post)
+	b.cur = post
+	if s.Post != nil {
+		b.g.add(post, s.Post)
+	}
+	b.branch(post, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.g.newBlock()
+	after := b.g.newBlock()
+	b.jump(head)
+	b.cur = head
+	// The RangeStmt node itself carries the ranged expression and the
+	// per-iteration assignment; it lives in the head block.
+	b.g.add(head, s)
+	b.branch(head, after) // zero iterations / exhausted
+	body := b.g.newBlock()
+	b.branch(head, body)
+	b.cur = body
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, continueTarget: head})
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jump(head)
+	b.cur = after
+}
+
+// switchStmt builds both expression and type switches: tag evaluation in
+// the current block, one block per case clause, fallthrough edges between
+// consecutive clause bodies, and an edge straight to after when no
+// default clause exists.
+func (b *builder) switchStmt(sw ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.g.add(b.cur, init)
+	}
+	if tag != nil {
+		b.g.add(b.cur, tag)
+	} else if ts, ok := sw.(*ast.TypeSwitchStmt); ok {
+		b.g.add(b.cur, ts.Assign)
+	}
+	head := b.cur
+	after := b.g.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.g.newBlock()
+		b.branch(head, bodies[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		falls := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				falls = true
+				b.g.add(b.cur, st)
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(bodies) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		b.branch(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	after := b.g.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.g.newBlock()
+		b.branch(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.g.add(blk, cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	// A select with no clauses blocks forever: head keeps no successor,
+	// which the queries treat as "never reaches the exit".
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// terminatesProcess recognizes the expression statements after which
+// control cannot continue in this goroutine: panic(...), runtime.Goexit,
+// os.Exit and the log.Fatal family. The match is syntactic — neurolint
+// modules use the conventional import names.
+func terminatesProcess(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		case "log":
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -67,7 +67,58 @@ func GoroutineConfig() CtxGoroutineConfig {
 	}
 }
 
-// DefaultAnalyzers returns the five project invariants at production scope.
+// UncheckedErrorExemptions are the callees whose error results the
+// unchecked-error check lets pass without a directive, by go/types full
+// name. Only contractually-unactionable errors belong here:
+//
+//   - the fmt.Fprint family — the repo writes to strings.Builder,
+//     bytes.Buffer, os.Stderr and http.ResponseWriter, where the write
+//     error is impossible (in-memory), already fatal elsewhere (broken
+//     pipe on a dying process) or unreportable (the response writer IS
+//     the error channel);
+//   - strings.Builder writes, documented to always return nil;
+//   - direct http.ResponseWriter writes — once a handler is emitting a
+//     body there is no second channel to report a dead client on, and
+//     the server logs transport errors itself.
+//
+// Everything else — file writes, encoders, closes, flushes — must be
+// handled or carry //lint:ignore unchecked-error <reason>.
+func UncheckedErrorExemptions() []string {
+	return []string{
+		"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+		"fmt.Print", "fmt.Printf", "fmt.Println",
+		"(*strings.Builder).WriteString", "(*strings.Builder).WriteByte",
+		"(*strings.Builder).WriteRune", "(*strings.Builder).Write",
+		"(net/http.ResponseWriter).Write",
+	}
+}
+
+// DefaultClosables are the resource types the resource-close check
+// tracks: HTTP response bodies (the cluster client's peer-fetch and
+// job-stream connections leak pooled sockets when left open) and files
+// (every unflushed result writer in the cmds).
+func DefaultClosables() []ClosableType {
+	return []ClosableType{
+		{TypeName: "net/http.Response", CloseVia: "Body"},
+		{TypeName: "os.File"},
+	}
+}
+
+// DefaultResourceClose is the production resource-close configuration:
+// the closable set above, plus the cluster client's drain-and-close
+// helper, which takes ownership of a response body and closes it after
+// draining for connection reuse.
+func DefaultResourceClose() ResourceCloseConfig {
+	return ResourceCloseConfig{
+		Closables:  DefaultClosables(),
+		CloseFuncs: []string{"neurotest/internal/cluster.drainClose"},
+	}
+}
+
+// DefaultAnalyzers returns the project invariants at production scope:
+// the five syntactic/per-package checks from PR 3 plus the flow-aware
+// suite — unchecked-error, the CFG-backed lock-balance and
+// resource-close, and the call-graph determinism closure.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewExhaustiveFaultSwitch("neurotest/internal/fault", "Kind"),
@@ -75,5 +126,9 @@ func DefaultAnalyzers() []*Analyzer {
 		NewFloatEq(FloatHelperPaths()...),
 		NewNoPanic(),
 		NewCtxGoroutine(GoroutineConfig()),
+		NewUncheckedError(UncheckedErrorExemptions()...),
+		NewLockBalance(),
+		NewResourceClose(DefaultResourceClose()),
+		NewInterproceduralDeterminism(DeterministicPaths()...),
 	}
 }

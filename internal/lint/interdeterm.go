@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewInterproceduralDeterminism builds the call-graph extension of the
+// determinism check. The intraprocedural determinism analyzer polices
+// direct wall-clock reads, math/rand imports and map ranges inside the
+// configured deterministic packages; this one closes the loophole the
+// PR 3 sweep left open — a helper two calls away. It builds the static
+// call graph over every loaded package and reports, for each function in
+// a deterministic package, any call edge into a non-deterministic-path
+// function that transitively reaches one of the nondeterminism sinks:
+//
+//   - time.Now / time.Since / time.Until,
+//   - anything in math/rand or math/rand/v2,
+//   - ranging over a map (iteration order is randomized by the runtime).
+//
+// The finding lands on the call site and carries the offending chain
+// ("stats.Summarize → stats.keys → range over map"), so the fix — hoist
+// the nondeterminism, sort the keys, or thread the audited clock hook —
+// is visible without re-deriving the path. Edges between two
+// deterministic packages stay silent (the callee is policed in its own
+// right), as do direct sink calls (the intraprocedural check owns
+// those). Dynamic calls through function values and interfaces are not
+// traversed: the graph under-approximates and never invents a chain.
+func NewInterproceduralDeterminism(pkgPaths ...string) *Analyzer {
+	deterministic := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		deterministic[p] = true
+	}
+	a := &Analyzer{
+		Name: "interprocedural-determinism",
+		Doc:  "no call chain from a deterministic path reaches time.Now, math/rand or a map range",
+	}
+	a.RunModule = func(pass *ModulePass) {
+		graph := BuildCallGraph(pass.Packages)
+		sinks, sinkLabels := collectSinks(pass, graph)
+		dist, next := graph.ReverseBFS(sinks)
+		label := func(key string) string { return sinkLabels[key] }
+
+		for key, node := range graph.Funcs {
+			if !deterministic[node.Pkg.Path] {
+				continue
+			}
+			reported := make(map[string]bool)
+			for _, edge := range graph.Edges[key] {
+				calleeNode := graph.Funcs[edge.Callee]
+				if calleeNode == nil || deterministic[calleeNode.Pkg.Path] {
+					// Sinks outside the loaded set (time.Now itself) are
+					// the intraprocedural check's findings; deterministic
+					// callees are policed at their own edges.
+					continue
+				}
+				if _, tainted := dist[edge.Callee]; !tainted {
+					continue
+				}
+				if reported[edge.Callee] {
+					continue // one finding per distinct callee per function
+				}
+				reported[edge.Callee] = true
+				chain := graph.Chain(edge.Callee, next, label)
+				pass.Reportf(edge.Pos, "%s is on a deterministic path but reaches nondeterminism via %s; hoist the impurity or make the helper deterministic", displayKey(key), chain)
+			}
+		}
+	}
+	return a
+}
+
+// collectSinks finds the sink functions of the loaded world: functions
+// whose bodies range over a map, plus the external sink names any edge
+// may point at (time.Now, math/rand.*). It returns the sink key set and
+// a label map describing each sink for chain rendering.
+//
+// A map range carrying a //lint:ignore interprocedural-determinism
+// directive is not a sink: the directive marks the iteration as audited
+// order-insensitive (keyed writes into disjoint cells, or sorted before
+// any order-sensitive use). Because findings land on distant callers, the
+// suppression must be honored here, at the sink itself.
+func collectSinks(pass *ModulePass, graph *CallGraph) (map[string]bool, map[string]string) {
+	sinks := make(map[string]bool)
+	labels := make(map[string]string)
+	// External sinks: named functions the module calls but does not
+	// declare. Any edge to them taints the caller.
+	for _, edges := range graph.Edges {
+		for _, e := range edges {
+			if graph.Funcs[e.Callee] != nil {
+				continue
+			}
+			if sinkName := externalSink(e.Callee); sinkName != "" {
+				sinks[e.Callee] = true
+				labels[e.Callee] = sinkName
+			}
+		}
+	}
+	// Internal sinks: declared functions that range over a map directly.
+	for key, node := range graph.Funcs {
+		if node.Decl.Body == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := node.Pkg.Info.Types[rng.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && !pass.Suppressed(rng.Pos()) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			sinks[key] = true
+			labels[key] = displayKey(key) + " (ranges over a map)"
+		}
+	}
+	return sinks, labels
+}
+
+// externalSink classifies a callee key outside the loaded packages as a
+// nondeterminism sink: the wall-clock reads and the math/rand packages.
+func externalSink(key string) string {
+	switch key {
+	case "time.Now", "time.Since", "time.Until":
+		return key
+	}
+	if strings.HasPrefix(key, "math/rand.") || strings.HasPrefix(key, "math/rand/v2.") ||
+		strings.HasPrefix(key, "(*math/rand.") || strings.HasPrefix(key, "(*math/rand/v2.") {
+		return displayKey(key) + " (math/rand)"
+	}
+	return ""
+}

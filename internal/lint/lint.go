@@ -38,8 +38,10 @@ func (f Finding) String() string {
 }
 
 // Analyzer is one named check. Run receives a fully type-checked package;
-// RunFile, when set, is invoked once per file for purely syntactic checks.
-// An analyzer may set either or both.
+// RunFile, when set, is invoked once per file for purely syntactic checks;
+// RunModule, when set, is invoked exactly once per run with every loaded
+// package at once — the hook the interprocedural (call-graph) analyzers
+// use. An analyzer may set any combination.
 type Analyzer struct {
 	// Name identifies the check in findings and suppression directives.
 	Name string
@@ -49,6 +51,8 @@ type Analyzer struct {
 	Run func(*Pass)
 	// RunFile analyzes one file syntactically.
 	RunFile func(*Pass, *ast.File)
+	// RunModule analyzes every loaded package together.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one package and collects its
@@ -151,48 +155,109 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File, findings *[]Findi
 	return idx
 }
 
+// ModulePass carries a module-wide analyzer's view of every loaded
+// package at once and collects its findings, respecting the same
+// per-site suppression directives as per-package passes.
+type ModulePass struct {
+	// Analyzer is the check this pass runs.
+	Analyzer *Analyzer
+	// Fset resolves positions across all packages.
+	Fset *token.FileSet
+	// Packages are all packages loaded for this run, in load order.
+	Packages []*Package
+
+	suppress suppressionIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless a matching suppression directive
+// covers it.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:   position,
+		Check: p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether a directive for this pass's check covers pos.
+// Module analyzers use it to honor directives at sites other than the one
+// a finding is reported at — e.g. an audited map range inside a helper the
+// deterministic packages call, where the finding lands on the caller.
+func (p *ModulePass) Suppressed(pos token.Pos) bool {
+	return p.suppress.covers(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
 // Runner applies a set of analyzers to packages.
 type Runner struct {
 	Analyzers []*Analyzer
 }
 
 // Package runs every analyzer over one loaded package and returns the
-// surviving (un-suppressed) findings sorted by position.
+// surviving (un-suppressed) findings sorted by position. Module-wide
+// analyzers see a single-package module.
 func (r *Runner) Package(pkg *Package) []Finding {
+	return r.Packages([]*Package{pkg})
+}
+
+// Packages runs the analyzers over every package — per-package hooks once
+// per package, module hooks once over the whole set — and returns the
+// surviving findings in position order. Every package must come from the
+// same Loader: module-wide analyzers resolve positions from every package
+// against one shared token.FileSet.
+func (r *Runner) Packages(pkgs []*Package) []Finding {
 	var findings []Finding
-	suppress := buildSuppressions(pkg.Fset, pkg.Files, &findings)
-	for _, a := range r.Analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Path:     pkg.Path,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			suppress: suppress,
-			findings: &findings,
+	suppress := make(suppressionIndex)
+	for _, pkg := range pkgs {
+		for file, lines := range buildSuppressions(pkg.Fset, pkg.Files, &findings) {
+			suppress[file] = lines
 		}
-		if a.Run != nil {
-			a.Run(pass)
-		}
-		if a.RunFile != nil {
-			for _, f := range pkg.Files {
-				a.RunFile(pass, f)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range r.Analyzers {
+			if a.Run == nil && a.RunFile == nil {
+				continue
 			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				suppress: suppress,
+				findings: &findings,
+			}
+			if a.Run != nil {
+				a.Run(pass)
+			}
+			if a.RunFile != nil {
+				for _, f := range pkg.Files {
+					a.RunFile(pass, f)
+				}
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range r.Analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Packages: pkgs,
+				suppress: suppress,
+				findings: &findings,
+			})
 		}
 	}
 	sortFindings(findings)
 	return findings
-}
-
-// Packages runs the analyzers over every package, concatenating findings in
-// package order.
-func (r *Runner) Packages(pkgs []*Package) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
-		out = append(out, r.Package(pkg)...)
-	}
-	return out
 }
 
 // sortFindings orders findings by file, line, column, then check name, so

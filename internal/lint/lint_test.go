@@ -33,7 +33,10 @@ type want struct {
 	re   *regexp.Regexp
 }
 
-var wantRe = regexp.MustCompile(`^// want "(.*)"$`)
+// wantRe accepts the expectation pattern in double quotes or backticks;
+// backticks let a pattern quote regex metacharacters without fighting the
+// comment syntax.
+var wantRe = regexp.MustCompile("^// want (?:\"(.*)\"|`(.*)`)$")
 
 // collectWants extracts the `// want "<regexp>"` trailing comments of a
 // fixture package. The expectation covers the comment's own line.
@@ -50,9 +53,13 @@ func collectWants(t *testing.T, pkg *Package) []want {
 					}
 					continue
 				}
-				re, err := regexp.Compile(m[1])
+				pattern := m[1]
+				if pattern == "" {
+					pattern = m[2]
+				}
+				re, err := regexp.Compile(pattern)
 				if err != nil {
-					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				out = append(out, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})

@@ -160,7 +160,11 @@ func (l *Loader) Expand(patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
-// hasGoFiles reports whether dir directly contains a non-test Go file.
+// hasGoFiles reports whether dir directly contains a non-test Go file
+// that survives build-constraint evaluation — exactly the file set Load
+// will analyze. Judging by suffix alone is not enough: a directory whose
+// every file is excluded by a //go:build tag would be offered to Load,
+// which then fails the whole run with "no buildable Go source files".
 func hasGoFiles(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -168,7 +172,10 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err == nil && match {
 			return true
 		}
 	}
@@ -207,6 +214,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		Importer: l.imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
+	//lint:ignore unchecked-error every type error lands in typeErrs via conf.Error; the returned error duplicates typeErrs[0]
 	pkg, _ := conf.Check(path, l.fset, files, info)
 	if len(typeErrs) > 0 {
 		// Analysis over a package that does not type-check would silently

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"neurotest/internal/lint/cfg"
+)
+
+// NewLockBalance builds the lock-balance check, the first CFG-backed
+// analyzer: every mu.Lock() / mu.RLock() on a sync.Mutex or sync.RWMutex
+// must be matched — on every control-flow path that reaches the
+// function's ordinary exit — by the corresponding Unlock / RUnlock on the
+// same receiver expression, either inline or via defer (a deferred unlock
+// registered on a path dominates every later exit of that path). Paths
+// that end in panic, os.Exit or log.Fatal are exempt: a dying frame runs
+// its defers and a dead process blocks nobody.
+//
+// The check additionally flags sync primitives copied by value in
+// signatures: parameters, results and receivers whose type contains a
+// sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map or Pool by value — a
+// copied lock guards nothing, and the copy compiles silently.
+//
+// Deliberately unbalanced helpers (a lock() method that acquires for its
+// caller) are rare and intentional; they carry
+// //lint:ignore lock-balance <reason> at the Lock site.
+func NewLockBalance() *Analyzer {
+	a := &Analyzer{
+		Name: "lock-balance",
+		Doc:  "every sync Lock is matched by Unlock on all paths (or deferred); no sync types copied by value",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkSignatureCopies(pass, fd)
+				if fd.Body == nil {
+					continue
+				}
+				checkLockBalance(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// lockMethods maps the sync locking methods to their required unlock
+// counterparts, keyed by go/types full name.
+var lockMethods = map[string]string{
+	"(*sync.Mutex).Lock":    "Unlock",
+	"(*sync.RWMutex).Lock":  "Unlock",
+	"(*sync.RWMutex).RLock": "RUnlock",
+}
+
+// checkLockBalance verifies every lock acquisition in one function
+// declaration. The declaration body and each function literal inside it
+// are separate control-flow universes: each gets its own graph, and an
+// acquisition is checked against the paths of the body it lexically
+// belongs to.
+func checkLockBalance(pass *Pass, fd *ast.FuncDecl) {
+	for _, body := range functionBodies(fd.Body) {
+		checkBodyLocks(pass, body)
+	}
+}
+
+// functionBodies returns fd's body plus the body of every function
+// literal nested inside it, at any depth.
+func functionBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkBodyLocks checks the acquisitions that belong directly to one
+// body (not to a nested literal, which has its own entry).
+func checkBodyLocks(pass *Pass, body *ast.BlockStmt) {
+	var acquisitions []*ast.ExprStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // belongs to a nested universe
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if _, _, ok := lockCall(pass, es.X); ok {
+			acquisitions = append(acquisitions, es)
+		}
+		return true
+	})
+	if len(acquisitions) == 0 {
+		return
+	}
+	graph := cfg.New(body)
+	if graph.Incomplete {
+		return // goto: edges would be wrong, so stay silent
+	}
+	for _, es := range acquisitions {
+		recv, unlock, _ := lockCall(pass, es.X)
+		sat := func(n ast.Node) bool { return hasUnlockCall(pass, n, recv, unlock) }
+		if ok, witness := graph.Satisfied(es, sat, cfg.PathOpts{ExemptPanic: true}); !ok {
+			where := ""
+			if witness != nil {
+				pos := pass.Fset.Position(witness.Pos())
+				where = " (path escaping at line " + strconv.Itoa(pos.Line) + ")"
+			}
+			pass.Reportf(es.Pos(), "%s.%s is not matched by %s on every path to the function exit%s; unlock on all branches or defer it immediately", recv, lockName(unlock), recv+"."+unlock, where)
+		}
+	}
+}
+
+// lockCall matches e as a call to one of the sync locking methods and
+// returns the rendered receiver expression and required unlock method.
+func lockCall(pass *Pass, e ast.Expr) (recv, unlock string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", "", false
+	}
+	counterpart, isLock := lockMethods[fn.FullName()]
+	if !isLock {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), counterpart, true
+}
+
+// lockName recovers the acquiring method name from its unlock counterpart
+// for messages.
+func lockName(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// hasUnlockCall reports whether node n contains a call recv.unlock(...)
+// with the same (textually rendered) receiver. Function-literal bodies
+// are searched only under defer: a deferred closure runs at exit, a plain
+// closure only if someone calls it.
+func hasUnlockCall(pass *Pass, n ast.Node, recv, unlock string) bool {
+	inDefer := false
+	if _, ok := n.(*ast.DeferStmt); ok {
+		inDefer = true
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && !inDefer {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != unlock {
+			return true
+		}
+		if fn, _ := pass.Info.Uses[sel.Sel].(*types.Func); fn != nil {
+			if _, isSync := lockCounterparts[fn.FullName()]; isSync && types.ExprString(sel.X) == recv {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lockCounterparts is the set of sync unlocking methods, keyed by full
+// name.
+var lockCounterparts = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// syncByValueTypes are the sync primitives that must never be copied.
+var syncByValueTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+	"sync.Map":       true,
+	"sync.Pool":      true,
+}
+
+// checkSignatureCopies flags parameters, results and receivers whose type
+// carries a sync primitive by value.
+func checkSignatureCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if name := containsSyncValue(t, make(map[*types.Named]bool)); name != "" {
+				pass.Reportf(field.Type.Pos(), "%s of %s carries %s by value; a copied lock guards nothing — pass a pointer", what, fd.Name.Name, name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// containsSyncValue reports the first sync primitive embedded by value in
+// t (descending into structs and arrays, not pointers, slices, maps or
+// channels, which share rather than copy).
+func containsSyncValue(t types.Type, seen map[*types.Named]bool) string {
+	switch t := t.(type) {
+	case *types.Named:
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if obj := t.Obj(); obj != nil && obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if syncByValueTypes[full] {
+				return full
+			}
+		}
+		return containsSyncValue(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := containsSyncValue(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsSyncValue(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,45 @@
+// Package impure holds the helpers the interdet fixture calls into: it is
+// outside the configured deterministic set, so its sinks are only
+// reachable through the call graph.
+package impure
+
+import "time"
+
+// Helper is the entry into a two-hop chain to the sink: the rendered
+// finding must name every intermediate call.
+func Helper() int {
+	return middle()
+}
+
+func middle() int {
+	return deep(map[int]int{1: 1, 2: 2})
+}
+
+// deep ranges over a map: the internal sink.
+func deep(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the wall clock: the external sink.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Pure is deterministic: callers stay clean.
+func Pure() int { return 42 }
+
+// Audited ranges over a map under a directive: the iteration is a
+// commutative sum, so the sink is suppressed at its own site.
+func Audited() int {
+	m := map[int]int{1: 1, 2: 2}
+	s := 0
+	//lint:ignore interprocedural-determinism commutative integer sum; iteration order cannot change the result
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

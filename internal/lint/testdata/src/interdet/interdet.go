@@ -1,0 +1,28 @@
+// Package interdet is the deterministic-path root of the interprocedural
+// determinism fixture: its helpers live in the impure subpackage, outside
+// the configured deterministic set, so only the call-graph closure can
+// connect an entry point here to a nondeterminism sink two hops away.
+package interdet
+
+import "neurotest/internal/lint/testdata/src/interdet/impure"
+
+// Entry reaches a map range two calls away: the chain must name every hop.
+func Entry() int {
+	return impure.Helper() // want `interdet.Entry is on a deterministic path but reaches nondeterminism via impure.Helper → impure.middle → impure.deep \(ranges over a map\)`
+}
+
+// Clocked reaches a wall-clock read through one helper.
+func Clocked() int64 {
+	return impure.Stamp() // want `interdet.Clocked is on a deterministic path but reaches nondeterminism via impure.Stamp → time.Now`
+}
+
+// Fine calls a pure helper: no chain, no finding.
+func Fine() int {
+	return impure.Pure()
+}
+
+// Audited calls a helper whose map range carries an audited directive at
+// the sink; the chain dissolves and no finding is reported here.
+func Audited() int {
+	return impure.Audited()
+}

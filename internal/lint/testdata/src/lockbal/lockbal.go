@@ -1,0 +1,122 @@
+// Package lockbal exercises the lock-balance check: every Lock must meet
+// its Unlock on all ordinary-exit paths (inline or deferred), and sync
+// primitives must not travel by value through signatures.
+package lockbal
+
+import (
+	"os"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// branchLeak unlocks on only one of two branches: the early return at the
+// top escapes with the lock held.
+func branchLeak(c *counter, flip bool) {
+	c.mu.Lock() // want `c\.mu\.Lock is not matched by c\.mu\.Unlock on every path`
+	if flip {
+		return
+	}
+	c.mu.Unlock()
+}
+
+// readLeak leaks the read lock: RUnlock is missing entirely.
+func readLeak(c *counter) int {
+	c.rw.RLock() // want `c\.rw\.RLock is not matched by c\.rw\.RUnlock on every path`
+	return c.n
+}
+
+// mismatchedReceiver unlocks a different lock than it acquired.
+func mismatchedReceiver(a, b *counter) {
+	a.mu.Lock() // want `a\.mu\.Lock is not matched by a\.mu\.Unlock on every path`
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// deferredUnlock is the idiomatic shape: the deferred unlock registered
+// right after the acquisition dominates every later exit.
+func deferredUnlock(c *counter, flip bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if flip {
+		return 0
+	}
+	c.n++
+	return c.n
+}
+
+// allPathsUnlock releases inline on both branches.
+func allPathsUnlock(c *counter, flip bool) {
+	c.mu.Lock()
+	if flip {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// panicPathExempt only skips the unlock on the dying path: a panicking
+// frame runs no code after the panic and the check exempts it.
+func panicPathExempt(c *counter, bad bool) {
+	c.mu.Lock()
+	if bad {
+		panic("invariant broken")
+	}
+	c.mu.Unlock()
+}
+
+// exitPathExempt mirrors panicPathExempt for os.Exit.
+func exitPathExempt(c *counter, bad bool) {
+	c.mu.Lock()
+	if bad {
+		os.Exit(2)
+	}
+	c.mu.Unlock()
+}
+
+// acquireForCaller is a deliberately unbalanced helper, documented with a
+// directive.
+func acquireForCaller(c *counter) {
+	//lint:ignore lock-balance acquires for the caller, released by releaseForCaller
+	c.mu.Lock()
+}
+
+func releaseForCaller(c *counter) {
+	c.mu.Unlock()
+}
+
+// copiedMutexParam copies a whole counter — and its mutex — by value.
+func copiedMutexParam(c counter) { // want `parameter of copiedMutexParam carries sync\.Mutex by value`
+	_ = c.n
+}
+
+// copiedByValueReceiver copies the lock through its receiver.
+func (c counter) copiedByValueReceiver() { // want `receiver of copiedByValueReceiver carries sync\.Mutex by value`
+	_ = c.n
+}
+
+// pointerParamFine shares the lock instead of copying it.
+func pointerParamFine(c *counter, wg *sync.WaitGroup) {
+	defer wg.Done()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// lockInLoopWithBreak releases before every way out of the loop.
+func lockInLoopWithBreak(c *counter, rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		if c.n > 10 {
+			c.mu.Unlock()
+			break
+		}
+		c.n++
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,141 @@
+// Package resclose exercises the resource-close check with local mirrors
+// of the production closables: Response (closed via Body, like
+// net/http.Response) and File (closed directly, like os.File). Leaks on a
+// branch are flagged; deferred closes, guarded error paths, ownership
+// escapes and configured close helpers are not.
+package resclose
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+// Response mirrors net/http.Response: closed through its Body.
+type Response struct {
+	Body io.ReadCloser
+}
+
+// File mirrors os.File: closed directly.
+type File struct{ open bool }
+
+// Close releases the file.
+func (f *File) Close() error { f.open = false; return nil }
+
+func get() (*Response, error) {
+	return &Response{Body: io.NopCloser(strings.NewReader("ok"))}, nil
+}
+
+func open() (*File, error) { return &File{open: true}, nil }
+
+// drainClose takes ownership of a body and closes it (configured as a
+// close helper in the test).
+func drainClose(body io.ReadCloser) {
+	//lint:ignore unchecked-error fixture helper; drop is the point
+	body.Close()
+}
+
+// holder captures a body, transferring ownership out of the function.
+type holder struct{ body io.ReadCloser }
+
+// branchLeakedBody closes on the fallthrough path but leaks the body on
+// the early-exit branch.
+func branchLeakedBody(flip bool) error {
+	resp, err := get() // want `resp \(.*resclose\.Response\) is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if flip {
+		return errors.New("early exit leaks the body")
+	}
+	return resp.Body.Close()
+}
+
+// secondGuardLeak is the classic shape: the guard on the *read* error
+// returns without closing. Only the guard immediately after the
+// acquisition is exempt.
+func secondGuardLeak() ([]byte, error) {
+	resp, err := get() // want `resp \(.*resclose\.Response\) is not closed on every path`
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return data, resp.Body.Close()
+}
+
+// fileLeak leaks a directly-closed resource on one branch.
+func fileLeak(bad bool) error {
+	f, err := open() // want `f \(.*resclose\.File\) is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("skip")
+	}
+	return f.Close()
+}
+
+// deferClose is the idiomatic non-finding: deferred right after the error
+// guard, it dominates every later exit.
+func deferClose() ([]byte, error) {
+	resp, err := get()
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// ifInitSuccessRegion scopes the resource to the then-block of an
+// if-init acquisition; the configured close helper satisfies it.
+func ifInitSuccessRegion() {
+	if resp, err := get(); err == nil {
+		drainClose(resp.Body)
+	}
+}
+
+// closeOnAllBranches closes inline on both exits.
+func closeOnAllBranches(flip bool) error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	if flip {
+		f.Close()
+		return errors.New("flip")
+	}
+	return f.Close()
+}
+
+// escapeByReturn hands the open response to its caller: ownership — and
+// the close obligation — move with it.
+func escapeByReturn() (*Response, error) {
+	resp, err := get()
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// escapeIntoStruct stores the body in a composite literal the caller
+// receives.
+func escapeIntoStruct() (holder, error) {
+	resp, err := get()
+	if err != nil {
+		return holder{}, err
+	}
+	return holder{body: resp.Body}, nil
+}
+
+// documentedLeak carries a directive: the close happens somewhere this
+// analysis cannot see, and the site says so.
+func documentedLeak() {
+	//lint:ignore resource-close fixture demonstrates an audited manual close outside the function
+	resp, _ := get()
+	if resp == nil {
+		return
+	}
+}

@@ -1,0 +1,10 @@
+//go:build neverbuild
+
+// The tag above rules this file out of every real build configuration. It
+// deliberately fails to type-check: if the loader ever parses it, the
+// tagged fixture load errors loudly.
+package tagged
+
+func broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,8 @@
+// Package tagged verifies the loader honors build constraints: the
+// sibling excluded.go is ruled out by its //go:build tag and contains a
+// type error, so loading this package proves the file never reaches the
+// type-checker.
+package tagged
+
+// Buildable is the only symbol of the constrained-in file set.
+func Buildable() int { return 1 }

@@ -1,0 +1,11 @@
+//go:build neverbuild
+
+// This package's only file is tag-excluded: Expand must skip the whole
+// directory instead of offering it to Load, which would hard-fail the run
+// with "no buildable Go source files" (and then on this file's type
+// error). See hasGoFiles in load.go.
+package taggedonly
+
+func broken() int {
+	return undefinedIdentifier
+}

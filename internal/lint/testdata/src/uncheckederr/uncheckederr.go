@@ -1,0 +1,72 @@
+// Package uncheckederr exercises the unchecked-error check: dropped error
+// results (bare statements, go statements, blank assignments) are flagged;
+// handled errors, deferred calls, exempted callees and documented drops
+// are not.
+package uncheckederr
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func value() int { return 1 }
+
+// exempt stands in for a contractually-nil-error callee (configured by
+// full name in the test).
+func exempt() error { return nil }
+
+func droppedCall() {
+	fail() // want "result 0 of uncheckederr.fail is an error and is silently discarded"
+}
+
+func droppedSecondResult() {
+	pair() // want "result 1 of uncheckederr.pair is an error and is silently discarded"
+}
+
+func droppedInGoStmt() {
+	go fail() // want "result 0 of uncheckederr.fail is an error and is silently discarded"
+}
+
+func blankAssigned() {
+	_ = fail() // want "error result of uncheckederr.fail assigned to _"
+}
+
+func blankSecondResult() int {
+	v, _ := pair() // want "error result of uncheckederr.pair assigned to _"
+	return v
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// deferredDrop is not flagged: a deferred call's results are discarded by
+// the language, and defer-close discipline belongs to resource-close.
+func deferredDrop() {
+	defer fail()
+}
+
+// exemptedCallee is not flagged when the test configures
+// uncheckederr.exempt as an exemption.
+func exemptedCallee() {
+	exempt()
+}
+
+func documentedDrop() {
+	//lint:ignore unchecked-error fixture demonstrates an audited drop
+	fail()
+}
+
+// nonError drops an int result, which is no business of this check.
+func nonError() {
+	value()
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewUncheckedError builds the unchecked-error check: a call whose result
+// set includes an error must not have that error silently discarded. Two
+// shapes are reported:
+//
+//   - a call used as a bare statement (or `go` statement) whose callee
+//     returns an error — the error vanishes without a trace;
+//   - an assignment that lands an error result in the blank identifier
+//     (`_ = f()`, `v, _ := g()`) — discarding is visible but still needs a
+//     //lint:ignore unchecked-error <reason> directive, so every dropped
+//     error carries its justification in the source.
+//
+// Deferred calls are exempt: a deferred call's return values are
+// discarded by the language itself, there is no control flow left to
+// handle them in, and the dominant shape (`defer f.Close()`) is policed
+// separately by resource-close. Callees named in exempt (by go/types full
+// name) are also skipped — the fmt.Fprint family writing to in-memory
+// buffers, stderr diagnostics and HTTP response writers, where the error
+// is either impossible or unactionable by contract.
+func NewUncheckedError(exempt ...string) *Analyzer {
+	exemptNames := make(map[string]bool, len(exempt))
+	for _, name := range exempt {
+		exemptNames[name] = true
+	}
+	a := &Analyzer{
+		Name: "unchecked-error",
+		Doc:  "no silently discarded error results; blank-assigning one requires a directive",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					reportDroppedCall(pass, n.X, exemptNames)
+				case *ast.GoStmt:
+					reportDroppedCall(pass, n.Call, exemptNames)
+				case *ast.AssignStmt:
+					reportBlankError(pass, n, exemptNames)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// reportDroppedCall reports e when it is a call statement discarding an
+// error result.
+func reportDroppedCall(pass *Pass, e ast.Expr, exempt map[string]bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || isExemptCallee(pass, call, exempt) {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			pass.Reportf(call.Pos(), "result %d of %s is an error and is silently discarded; handle it or document the drop with //lint:ignore unchecked-error <reason>", i, calleeLabel(pass, call))
+			return
+		}
+	}
+}
+
+// reportBlankError reports assignments that discard an error result into
+// the blank identifier.
+func reportBlankError(pass *Pass, as *ast.AssignStmt, exempt map[string]bool) {
+	// Only the call-RHS forms can discard a callee's error: x, _ := f()
+	// and _ = f(). Moves of existing error values (err2 = err1) are
+	// visible dataflow, not a discard at the call boundary.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || isExemptCallee(pass, call, exempt) {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		if len(as.Lhs) == 1 && res.Len() >= 1 {
+			t = res.At(0).Type()
+		} else if i < res.Len() {
+			t = res.At(i).Type()
+		}
+		if t != nil && isErrorType(t) {
+			pass.Reportf(id.Pos(), "error result of %s assigned to _; document the drop with //lint:ignore unchecked-error <reason>", calleeLabel(pass, call))
+			return
+		}
+	}
+}
+
+// callSignature resolves the signature of a call's callee, or nil for
+// builtins and conversions.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// isExemptCallee reports whether the call statically targets one of the
+// exempt full names.
+func isExemptCallee(pass *Pass, call *ast.CallExpr, exempt map[string]bool) bool {
+	if len(exempt) == 0 {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && exempt[fn.FullName()]
+}
+
+// calleeLabel names a call target for messages: the resolved function's
+// shortened full name when static, otherwise "the called function".
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return displayKey(fn.FullName())
+	}
+	return "the called function"
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

@@ -139,10 +139,15 @@ func WriteBinary(w io.Writer, ts *TestSet) error {
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
+	// bufio.Writer errors are sticky: every Write after the first failure
+	// is a no-op returning the same error, and the final Flush reports it.
+	//lint:ignore unchecked-error bufio write errors are sticky; the final Flush reports the first failure
 	writeU32 := func(v int) { binary.Write(bw, binary.LittleEndian, uint32(v)) }
+	//lint:ignore unchecked-error bufio write errors are sticky; the final Flush reports the first failure
 	writeF64 := func(v float64) { binary.Write(bw, binary.LittleEndian, math.Float64bits(v)) }
 
 	writeU32(len(ts.Name))
+	//lint:ignore unchecked-error bufio write errors are sticky; the final Flush reports the first failure
 	bw.WriteString(ts.Name)
 	writeU32(ts.Arch.Layers())
 	for _, n := range ts.Arch {
@@ -164,6 +169,7 @@ func WriteBinary(w io.Writer, ts *TestSet) error {
 	nBytes := (ts.Arch.Inputs() + 7) / 8
 	for _, it := range ts.Items {
 		writeU32(len(it.Label))
+		//lint:ignore unchecked-error bufio write errors are sticky; the final Flush reports the first failure
 		bw.WriteString(it.Label)
 		writeU32(it.ConfigIndex)
 		writeU32(it.Timesteps)
@@ -179,6 +185,7 @@ func WriteBinary(w io.Writer, ts *TestSet) error {
 				packed[i/8] |= 1 << uint(i%8)
 			}
 		}
+		//lint:ignore unchecked-error bufio write errors are sticky; the final Flush reports the first failure
 		bw.Write(packed)
 	}
 	return bw.Flush()

@@ -206,6 +206,7 @@ func writeTraceFile(path string, rec interface{ WriteNDJSON(io.Writer) error }) 
 		return err
 	}
 	if err := rec.WriteNDJSON(f); err != nil {
+		//lint:ignore unchecked-error the write error already reports the failure; close is cleanup on the error path
 		f.Close()
 		return err
 	}

@@ -893,6 +893,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The server's own instruments live in its registry; the campaign
 	// layers (tester, faultsim) register lazily in the process default.
 	// One scrape merges both.
+	//lint:ignore unchecked-error a failed scrape write means the client is gone; the response writer is the only error channel
 	obs.WriteText(w, s.registry, obs.Default())
 }
 
@@ -918,6 +919,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	//lint:ignore unchecked-error a failed stream write means the client is gone; the response writer is the only error channel
 	s.recorder.WriteNDJSON(w)
 }
 
@@ -963,6 +965,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//lint:ignore unchecked-error the status line is already sent; an encode failure means the client is gone and cannot be answered
 	enc.Encode(v)
 }
 

@@ -3,6 +3,7 @@ package snn
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // MaxTimesteps bounds the observation window so spike trains fit in a
@@ -93,24 +94,31 @@ func MergeModifiers(ms ...*Modifiers) *Modifiers {
 		if m.Empty() {
 			continue
 		}
+		// Keyed map-to-map copies: keys within one input map are unique,
+		// and "later sets win" resolves over the ms slice order, so the
+		// randomized map iteration order cannot change the merged result.
+		//lint:ignore interprocedural-determinism keyed copy; conflicts resolve over slice order, not map order
 		for id, v := range m.ThresholdOverride {
 			if out.ThresholdOverride == nil {
 				out.ThresholdOverride = make(map[NeuronID]float64)
 			}
 			out.ThresholdOverride[id] = v
 		}
+		//lint:ignore interprocedural-determinism keyed copy; conflicts resolve over slice order, not map order
 		for id, v := range m.ForceSpike {
 			if out.ForceSpike == nil {
 				out.ForceSpike = make(map[NeuronID]bool)
 			}
 			out.ForceSpike[id] = v
 		}
+		//lint:ignore interprocedural-determinism keyed copy; conflicts resolve over slice order, not map order
 		for id, v := range m.StuckWeight {
 			if out.StuckWeight == nil {
 				out.StuckWeight = make(map[SynapseID]float64)
 			}
 			out.StuckWeight[id] = v
 		}
+		//lint:ignore interprocedural-determinism keyed copy; conflicts resolve over slice order, not map order
 		for id, v := range m.AlwaysOnSynapse {
 			if out.AlwaysOnSynapse == nil {
 				out.AlwaysOnSynapse = make(map[SynapseID]bool)
@@ -187,6 +195,33 @@ type Simulator struct {
 	// which simulates the whole network with a one-entry modifier set.
 	thOverride [][]float64
 	force      [][]bool
+	// sorted projections of the synapse-level modifier maps, rebuilt once
+	// per run (see projectMods). The sweep accumulates their corrections
+	// into y with float64 additions, which are not associative — iterating
+	// the maps directly would let two entries targeting the same
+	// postsynaptic neuron sum in randomized map order and flip the last
+	// bit of y between runs. Sorting by SynapseID fixes the summation
+	// order, and slice iteration in the per-timestep loop is cheaper than
+	// map iteration anyway.
+	stuck    []stuckEntry
+	alwaysOn []SynapseID
+}
+
+// stuckEntry is one projected StuckWeight modifier.
+type stuckEntry struct {
+	ID SynapseID
+	W  float64
+}
+
+// synapseLess orders SynapseIDs by (boundary, pre, post).
+func synapseLess(a, b SynapseID) bool {
+	if a.Boundary != b.Boundary {
+		return a.Boundary < b.Boundary
+	}
+	if a.Pre != b.Pre {
+		return a.Pre < b.Pre
+	}
+	return a.Post < b.Post
 }
 
 // NewSimulator returns a simulator bound to net. The network may be mutated
@@ -209,10 +244,15 @@ func NewSimulator(net *Network) *Simulator {
 	return s
 }
 
-// projectMods fills the dense modifier views from the sparse maps and
-// reports which views the sweep must consult. Filling is O(neurons) once
-// per run, against O(neurons × timesteps) map lookups saved.
+// projectMods fills the dense modifier views from the sparse neuron maps,
+// projects the sparse synapse maps into sorted slices, and reports which
+// dense views the sweep must consult. Filling is O(neurons + synapse
+// mods·log) once per run, against O(neurons × timesteps) map lookups
+// saved — and the sorted synapse order fixes the float64 summation order
+// of stuck/always-on corrections (see the Simulator field comments).
 func (s *Simulator) projectMods(mods *Modifiers, theta float64) (denseTh, denseForce bool) {
+	s.stuck = s.stuck[:0]
+	s.alwaysOn = s.alwaysOn[:0]
 	if mods == nil {
 		return false, false
 	}
@@ -224,6 +264,7 @@ func (s *Simulator) projectMods(mods *Modifiers, theta float64) (denseTh, denseF
 				th[j] = theta
 			}
 		}
+		//lint:ignore interprocedural-determinism keyed writes into disjoint dense cells; iteration order cannot change the result
 		for id, o := range mods.ThresholdOverride {
 			s.thOverride[id.Layer][id.Index] = o
 		}
@@ -236,10 +277,21 @@ func (s *Simulator) projectMods(mods *Modifiers, theta float64) (denseTh, denseF
 				f[j] = false
 			}
 		}
+		//lint:ignore interprocedural-determinism keyed writes into disjoint dense cells; iteration order cannot change the result
 		for id := range mods.ForceSpike {
 			s.force[id.Layer][id.Index] = true
 		}
 	}
+	//lint:ignore interprocedural-determinism collects entries for sorting below; order-insensitive by construction
+	for id, w := range mods.StuckWeight {
+		s.stuck = append(s.stuck, stuckEntry{ID: id, W: w})
+	}
+	sort.Slice(s.stuck, func(i, j int) bool { return synapseLess(s.stuck[i].ID, s.stuck[j].ID) })
+	//lint:ignore interprocedural-determinism collects entries for sorting below; order-insensitive by construction
+	for id := range mods.AlwaysOnSynapse {
+		s.alwaysOn = append(s.alwaysOn, id)
+	}
+	sort.Slice(s.alwaysOn, func(i, j int) bool { return synapseLess(s.alwaysOn[i], s.alwaysOn[j]) })
 	return denseTh, denseForce
 }
 
@@ -342,25 +394,25 @@ func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Mo
 					y[j] += wj
 				}
 			}
-			if mods != nil {
-				// Sparse corrections for stuck and always-on synapses.
-				for id, stuck := range mods.StuckWeight {
-					if id.Boundary != k-1 {
-						continue
-					}
-					if pre[id.Pre] {
-						y[id.Post] += stuck - w[id.Pre*nOut+id.Post]
-					}
+			// Sparse corrections for stuck and always-on synapses, applied
+			// in sorted SynapseID order so the float64 sums are
+			// bit-reproducible.
+			for _, e := range s.stuck {
+				if e.ID.Boundary != k-1 {
+					continue
 				}
-				for id := range mods.AlwaysOnSynapse {
-					if id.Boundary != k-1 {
-						continue
-					}
-					// The synapse transmits a spike every timestep: when the
-					// presynaptic neuron is silent the weight still arrives.
-					if !pre[id.Pre] {
-						y[id.Post] += w[id.Pre*nOut+id.Post]
-					}
+				if pre[e.ID.Pre] {
+					y[e.ID.Post] += e.W - w[e.ID.Pre*nOut+e.ID.Post]
+				}
+			}
+			for _, id := range s.alwaysOn {
+				if id.Boundary != k-1 {
+					continue
+				}
+				// The synapse transmits a spike every timestep: when the
+				// presynaptic neuron is silent the weight still arrives.
+				if !pre[id.Pre] {
+					y[id.Post] += w[id.Pre*nOut+id.Post]
 				}
 			}
 

@@ -332,6 +332,7 @@ func MergeSessionStats(parts ...SessionStats) SessionStats {
 // of scheduling. Worker panics are recovered into SessionStats.Errors
 // instead of crashing the campaign.
 func (a *ATE) MeasureSessions(n int, mods func(i int) *snn.Modifiers, prof unreliable.Profile, vary variation.Model, policy RetestPolicy, seed uint64) SessionStats {
+	//lint:ignore unchecked-error context.Background() never cancels, and cancellation is the only error MeasureSessionsContext returns
 	stats, _ := a.MeasureSessionsContext(context.Background(), n, mods, prof, vary, policy, seed)
 	return stats
 }

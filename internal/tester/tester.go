@@ -300,6 +300,7 @@ func (c CoverageResult) String() string {
 // goldens — and the result is identical to the serial evaluation regardless
 // of scheduling.
 func (a *ATE) MeasureCoverage(faults []fault.Fault, values fault.Values) CoverageResult {
+	//lint:ignore unchecked-error context.Background() never cancels, and cancellation is the only error MeasureCoverageContext returns
 	res, _ := a.MeasureCoverageContext(context.Background(), faults, values)
 	return res
 }
