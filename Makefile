@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=10s ./internal/pattern
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=10s ./internal/pattern
 	$(GO) test -run='^$$' -fuzz=FuzzDetector -fuzztime=10s ./internal/online
+	$(GO) test -run='^$$' -fuzz=FuzzRepairPlan -fuzztime=10s ./internal/repair
 
 # bench runs the performance suite — the paper-evaluation benchmarks in the
 # root package plus the internal/obs instrument and internal/snn simulator

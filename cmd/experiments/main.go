@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-table 3|5|6|ratio|online] [-figure 4] [-model 4|5]
+//	experiments [-quick] [-table 3|5|6|ratio|online|repair] [-figure 4] [-model 4|5]
 //	            [-csv dir] [-seed N] [-trace file] [-v]
 //
 // With no selection flags, all tables and both figures are produced; the
@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "scaled-down populations for fast smoke runs")
-		table    = flag.String("table", "", "regenerate one table: 3, 5, 6 or ratio (default: all)")
+		table    = flag.String("table", "", "regenerate one table: 3, 5, 6, ratio, online or repair (default: all paper tables)")
 		figure   = flag.String("figure", "", "regenerate one figure: 4 (default: all)")
 		model    = flag.String("model", "", "restrict to one model: 4 or 5 (default: both)")
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
@@ -132,6 +132,17 @@ func main() {
 			experiments.OnlineTable(arch, readout.String(), points).Render(os.Stdout)
 			fmt.Println()
 		})
+	}
+	// The repair sweep is opt-in too (-table repair): it measures the closed
+	// repair loop's recovered yield on both paper models.
+	if *table == "repair" {
+		for _, arch := range arches {
+			phase(fmt.Sprintf("repair-%v", arch), func(context.Context) {
+				points := runner.RepairSweep(arch)
+				experiments.RepairTable(arch, runner.Config().RepairSpares, points).Render(os.Stdout)
+				fmt.Println()
+			})
+		}
 	}
 	if wantFigure("4") {
 		for _, arch := range arches {

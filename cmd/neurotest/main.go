@@ -41,8 +41,10 @@ import (
 	"neurotest/internal/obs"
 	"neurotest/internal/pattern"
 	"neurotest/internal/quant"
+	"neurotest/internal/repair"
 	"neurotest/internal/service"
 	"neurotest/internal/snn"
+	"neurotest/internal/tester"
 	"neurotest/internal/vcd"
 )
 
@@ -97,6 +99,8 @@ func main() {
 		err = cmdFlaky(os.Args[2:])
 	case "online":
 		err = cmdOnline(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -128,6 +132,7 @@ subcommands:
   trace      dump a test item's simulation as a VCD waveform
   flaky      sweep intermittent-fault and retest-budget test sessions
   online     sweep the in-field drift monitor over fault models and thresholds
+  repair     run the closed test-diagnose-repair-retest loop on defective dies
   serve      launch the neurotestd test-floor daemon (same flags)
 
 exit codes: 0 ok, 1 runtime failure, 2 usage error
@@ -653,6 +658,128 @@ func cmdOnline(args []string) error {
 	}
 	points := runner.OnlineSweep(arch, readout)
 	experiments.OnlineTable(arch, readout.String(), points).Render(os.Stdout)
+	return nil
+}
+
+// cmdRepair drives the closed repair loop from the command line: inject a
+// defect cluster (or sweep a population of sampled clusters), then run each
+// die through test → diagnose → plan → reprogram → retest and print the
+// phase trail and verdict.
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	archFlag := fs.String("arch", "10-8-3", "layer widths, dash separated")
+	inject := fs.String("inject", "", `defect cluster to inject on one die, "+"-separated faults, e.g. "NASF:2,3+SWF:2,5,2" (overrides -chips/-clusters)`)
+	chips := fs.Int("chips", 1, "population size in sampled-cluster mode")
+	clusters := fs.Int("clusters", 2, "sampled faults merged into each die's defect (0 = defect-free)")
+	sample := fs.Int("sample", 128, "cap on the modelled fault universe the dictionary is built over")
+	spares := fs.Int("spares", 8, "spare axon and neuron lines reserved per core (the repair budget)")
+	bits := fs.Int("bits", 8, "weight-memory width")
+	workload := fs.Int("workload", 64, "application samples judging post-repair accuracy")
+	marginFlag := fs.Float64("margin", 0, "bypass |weight| margin (0 = default fraction of theta)")
+	tolerance := fs.Int("tolerance", 0, "retest pass band in spike counts")
+	budget := fs.Float64("budget", 0, "tolerated post-repair accuracy loss (0 = default 2%)")
+	seed := fs.Uint64("seed", 1, "substrate seed")
+	//lint:ignore unchecked-error ExitOnError FlagSet: Parse exits the process on error and never returns one
+	fs.Parse(args)
+
+	arch, err := parseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	if *chips < 1 {
+		return usagef("-chips must be >= 1 (got %d)", *chips)
+	}
+	if *clusters < 0 || *clusters > 8 {
+		return usagef("-clusters must be in [0,8] (got %d)", *clusters)
+	}
+	if *sample < 1 {
+		return usagef("-sample must be >= 1 (got %d)", *sample)
+	}
+	if *spares < 0 || *bits < 2 || *bits > 16 || *workload < 1 {
+		return usagef("bad -spares/-bits/-workload (%d/%d/%d)", *spares, *bits, *workload)
+	}
+	if *marginFlag < 0 || *tolerance < 0 || *budget < 0 || *budget > 1 {
+		return usagef("-margin, -tolerance and -budget must be >= 0 (budget <= 1)")
+	}
+
+	m := neurotest.NewModel(arch...)
+	g, err := m.Generator(neurotest.NoVariation())
+	if err != nil {
+		return err
+	}
+	_, merged := g.GenerateAll()
+	universe := tester.SampleFaults(arch, fault.Kinds(), *sample, *seed+41)
+
+	fmt.Printf("building repair substrate: dictionary %d faults x %d items ...\n", len(universe), len(merged.Items))
+	loop, err := repair.New(repair.Config{
+		TS:              merged,
+		Values:          m.Values,
+		Universe:        universe,
+		SpareAxons:      *spares,
+		SpareNeurons:    *spares,
+		WeightBits:      *bits,
+		WorkloadSamples: *workload,
+		Seed:            *seed,
+		Opt:             repair.Options{Margin: *marginFlag, Tolerance: *tolerance, AccuracyBudget: *budget},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\nfault-free golden accuracy: %.4f\n", loop.Dictionary(), loop.GoldenAccuracy())
+
+	// Build the per-die defects: one explicit cluster, or a population of
+	// sampled clusters (the service's convention, so results line up).
+	type die struct {
+		label  string
+		defect *snn.Modifiers
+	}
+	var dies []die
+	if *inject != "" {
+		var mods []*snn.Modifiers
+		var names []string
+		for _, part := range strings.Split(*inject, "+") {
+			f, err := parseFault(strings.TrimSpace(part), arch)
+			if err != nil {
+				return err
+			}
+			mods = append(mods, f.Modifiers(m.Values))
+			names = append(names, fmt.Sprint(f))
+		}
+		dies = []die{{label: strings.Join(names, " + "), defect: snn.MergeModifiers(mods...)}}
+	} else {
+		for i := 0; i < *chips; i++ {
+			var names []string
+			var mods []*snn.Modifiers
+			for c := 0; c < *clusters; c++ {
+				f := universe[(i*(*clusters)+c)%len(universe)]
+				mods = append(mods, f.Modifiers(m.Values))
+				names = append(names, fmt.Sprint(f))
+			}
+			d := die{label: "defect-free"}
+			if len(mods) > 0 {
+				d.label = strings.Join(names, " + ")
+				d.defect = snn.MergeModifiers(mods...)
+			}
+			dies = append(dies, d)
+		}
+	}
+
+	shipped := 0
+	for i, d := range dies {
+		fmt.Printf("\ndie %d: %s\n", i, d.label)
+		rep, _, err := loop.Run(context.Background(), d.defect, func(ev repair.PhaseEvent) {
+			fmt.Printf("  %-9s %s\n", ev.Phase+":", ev.Detail)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("die %d: %s\n", i, rep)
+		if rep.Verdict == repair.Healthy || rep.Verdict == repair.Repaired {
+			shipped++
+		}
+	}
+	fmt.Printf("\npopulation: %d/%d dies shipped (recovered yield %.1f%%)\n",
+		shipped, len(dies), 100*float64(shipped)/float64(len(dies)))
 	return nil
 }
 

@@ -40,6 +40,11 @@ type Core struct {
 	NeuronOff int // first postsynaptic neuron covered
 	Axons     int // rows actually used
 	Neurons   int // columns actually used
+	// SpareAxons / SpareNeurons count the physical rows / columns of the
+	// crossbar left unmapped by this tile — the repair budget a plan can
+	// remap faulty rows and columns onto.
+	SpareAxons   int
+	SpareNeurons int
 
 	// codes are the programmed integer weight codes, row-major
 	// [axon*Neurons+neuron].
@@ -59,6 +64,14 @@ type Config struct {
 	Core   CoreShape
 	// WeightBits is the signed weight-code width of the crossbar memory.
 	WeightBits int
+	// SpareAxons / SpareNeurons reserve physical rows / columns per core
+	// for in-field repair: the mapping uses at most Core.Axons-SpareAxons
+	// rows and Core.Neurons-SpareNeurons columns of each crossbar, leaving
+	// the remainder as spare lines a repair plan can remap faulty resources
+	// onto (RescueSNN-style fault-aware mapping). Zero reserves nothing;
+	// tail tiles may end up with more spares than reserved.
+	SpareAxons   int
+	SpareNeurons int
 	// Variation, when non-zero, perturbs stored weights at programming
 	// time (memristive write noise).
 	Variation variation.Model
@@ -88,22 +101,33 @@ func New(cfg Config, seed uint64) (*Chip, error) {
 	if cfg.WeightBits < 2 || cfg.WeightBits > 16 {
 		return nil, fmt.Errorf("chip: weight memory width %d out of [2,16]", cfg.WeightBits)
 	}
+	if cfg.SpareAxons < 0 || cfg.SpareNeurons < 0 {
+		return nil, fmt.Errorf("chip: negative spare reservation %d/%d", cfg.SpareAxons, cfg.SpareNeurons)
+	}
+	rowStride := cfg.Core.Axons - cfg.SpareAxons
+	colStride := cfg.Core.Neurons - cfg.SpareNeurons
+	if rowStride < 1 || colStride < 1 {
+		return nil, fmt.Errorf("chip: spare reservation %d/%d leaves no usable lines in a %dx%d core",
+			cfg.SpareAxons, cfg.SpareNeurons, cfg.Core.Axons, cfg.Core.Neurons)
+	}
 	c := &Chip{cfg: cfg, rng: stats.NewRNG(seed)}
 	for b := 0; b < cfg.Arch.Boundaries(); b++ {
 		nIn, nOut := cfg.Arch[b], cfg.Arch[b+1]
-		for a0 := 0; a0 < nIn; a0 += cfg.Core.Axons {
-			rows := min(cfg.Core.Axons, nIn-a0)
-			for n0 := 0; n0 < nOut; n0 += cfg.Core.Neurons {
-				cols := min(cfg.Core.Neurons, nOut-n0)
+		for a0 := 0; a0 < nIn; a0 += rowStride {
+			rows := min(rowStride, nIn-a0)
+			for n0 := 0; n0 < nOut; n0 += colStride {
+				cols := min(colStride, nOut-n0)
 				c.cores = append(c.cores, &Core{
-					Boundary:  b,
-					AxonOff:   a0,
-					NeuronOff: n0,
-					Axons:     rows,
-					Neurons:   cols,
-					codes:     make([]int32, rows*cols),
-					scales:    make([]float64, cols),
-					analog:    make([]float64, rows*cols),
+					Boundary:     b,
+					AxonOff:      a0,
+					NeuronOff:    n0,
+					Axons:        rows,
+					Neurons:      cols,
+					SpareAxons:   cfg.Core.Axons - rows,
+					SpareNeurons: cfg.Core.Neurons - cols,
+					codes:        make([]int32, rows*cols),
+					scales:       make([]float64, cols),
+					analog:       make([]float64, rows*cols),
 				})
 			}
 		}
@@ -147,6 +171,17 @@ func (c *Chip) maxCode() float64 {
 // the six weight levels of generated test configurations survive even narrow
 // memories. Stored analog weights are then perturbed by the chip's
 // variation model. Program may be called repeatedly (reconfiguration).
+//
+// Reprogramming contract (the repair loop relies on it): Program rewrites
+// EVERY stored code and analog weight from net, so soft state — bit upsets
+// injected with FlipWeightBit — does NOT survive a reprogram; EffectiveNetwork
+// reads the freshly written analog array and agrees. Permanent physical
+// defects are the opposite: they are modelled behaviourally as snn.Modifiers
+// injected at Apply/simulation time, never stored in the chip, so no amount
+// of reprogramming clears them — repairing those requires remapping the
+// configuration away from the faulty cells (internal/repair). On a chip with
+// a variation model each Program draws fresh write noise, as real memristive
+// writes do.
 func (c *Chip) Program(net *snn.Network) error {
 	if !net.Arch.Equal(c.cfg.Arch) {
 		return fmt.Errorf("chip: configuration architecture %v does not fit chip %v", net.Arch, c.cfg.Arch)
@@ -288,11 +323,4 @@ func (c *Chip) Apply(p snn.Pattern, timesteps int, mods *snn.Modifiers) (snn.Res
 	}
 	sim := snn.NewSimulator(net)
 	return sim.Run(p, timesteps, snn.ApplyOnce, mods), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

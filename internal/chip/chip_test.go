@@ -277,3 +277,127 @@ func mustNew(t *testing.T, cfg Config, seed uint64) *Chip {
 	}
 	return c
 }
+
+// TestReprogramClearsBitUpsets pins the reprogramming contract documented
+// on Program: FlipWeightBit injects *soft* state, and rewriting the
+// configuration restores every code, analog weight and the effective
+// network exactly. (Permanent defects are snn.Modifiers, never chip state,
+// so they are out of Program's reach by construction — internal/repair
+// depends on both halves of this contract.)
+func TestReprogramClearsBitUpsets(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{12, 8, 4}
+	c := mustNew(t, cfg, 1)
+	net := snn.New(cfg.Arch, cfg.Params)
+	rng := stats.NewRNG(99)
+	for b := range net.W {
+		for i := range net.W[b] {
+			net.W[b][i] = 2*rng.Float64() - 1
+		}
+	}
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	codeBefore, err := c.WeightCode(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effBefore, err := c.EffectiveNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.FlipWeightBit(0, 3, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	codeUpset, _ := c.WeightCode(0, 3, 2)
+	if codeUpset == codeBefore {
+		t.Fatalf("flip did not change code %d", codeBefore)
+	}
+	effUpset, _ := c.EffectiveNetwork()
+	if effUpset.W[0][3*8+2] == effBefore.W[0][3*8+2] {
+		t.Fatalf("upset invisible in effective network")
+	}
+
+	// Reprogram with the same configuration: the upset must be gone.
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	codeAfter, _ := c.WeightCode(0, 3, 2)
+	if codeAfter != codeBefore {
+		t.Errorf("upset survived reprogram: code %d, want %d", codeAfter, codeBefore)
+	}
+	effAfter, _ := c.EffectiveNetwork()
+	for b := range effBefore.W {
+		for i := range effBefore.W[b] {
+			if effAfter.W[b][i] != effBefore.W[b][i] {
+				t.Fatalf("effective weight [%d][%d] differs after reprogram: %v vs %v",
+					b, i, effAfter.W[b][i], effBefore.W[b][i])
+			}
+		}
+	}
+}
+
+// TestSpareReservationTiling pins the spare-provisioning geometry: reserving
+// lines shrinks the tiling stride and every core reports its repair budget.
+func TestSpareReservationTiling(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arch = snn.Arch{8, 6, 4}
+	cfg.Core = CoreShape{Axons: 8, Neurons: 8}
+	cfg.SpareAxons, cfg.SpareNeurons = 2, 2
+	c := mustNew(t, cfg, 1)
+	// Stride 6: boundary 0 (8x6) → two row stripes of one column tile;
+	// boundary 1 (6x4) → one core.
+	if got := len(c.Cores(0)); got != 2 {
+		t.Fatalf("boundary 0 cores = %d, want 2", got)
+	}
+	top, tail := c.Cores(0)[0], c.Cores(0)[1]
+	if top.Axons != 6 || top.SpareAxons != 2 || top.Neurons != 6 || top.SpareNeurons != 2 {
+		t.Errorf("top stripe geometry %+v", top)
+	}
+	if tail.Axons != 2 || tail.SpareAxons != 6 {
+		t.Errorf("tail stripe must inherit extra spares: %+v", tail)
+	}
+	b1 := c.Cores(1)[0]
+	if b1.Axons != 6 || b1.Neurons != 4 || b1.SpareAxons != 2 || b1.SpareNeurons != 4 {
+		t.Errorf("boundary 1 geometry %+v", b1)
+	}
+	// Reservation must not change what the chip computes, only where
+	// weights sit: programming round-trips identically.
+	net := snn.New(cfg.Arch, cfg.Params)
+	for b := range net.W {
+		for i := range net.W[b] {
+			net.W[b][i] = float64(i%7) / 7
+		}
+	}
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	plain := mustNew(t, Config{Arch: cfg.Arch, Params: cfg.Params, Core: cfg.Core, WeightBits: cfg.WeightBits}, 1)
+	if err := plain.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	eff, _ := c.EffectiveNetwork()
+	effPlain, _ := plain.EffectiveNetwork()
+	for b := range eff.W {
+		for i := range eff.W[b] {
+			if eff.W[b][i] != effPlain.W[b][i] {
+				t.Fatalf("spare reservation changed effective weight [%d][%d]", b, i)
+			}
+		}
+	}
+}
+
+func TestSpareReservationRejects(t *testing.T) {
+	bad := []Config{
+		func() Config { c := testConfig(); c.SpareAxons = -1; return c }(),
+		func() Config { c := testConfig(); c.SpareNeurons = -2; return c }(),
+		func() Config { c := testConfig(); c.SpareAxons = 256; return c }(),
+		func() Config { c := testConfig(); c.SpareNeurons = 300; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

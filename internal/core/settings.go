@@ -84,7 +84,7 @@ func (g *Generator) activationSettings(cat Category, n int) ActivationSettings {
 		// |N_pt| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_pa| = 2|N_pt|-1,
 		// ω_pt = -ωmax, ω_pa = ωmax/2: Ω_p = -ωmax/2, Ω̂_p = ωmax/2 + ω̂.
 		return ActivationSettings{
-			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			GroupSize:    min(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
 			WPT:          -wmax,
 			WPA:          wmax / 2,
 			ancPerTarget: func(gs int) int { return 2*gs - 1 },
@@ -103,7 +103,7 @@ func (g *Generator) activationSettings(cat Category, n int) ActivationSettings {
 		// |N_pt| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_pa| = 2|N_pt|-1, ω_pt = ωmax,
 		// ω_pa = -ωmax/2: Ω_p = ωmax/2, Ω̂_p = -ωmax/2 + ω̂.
 		return ActivationSettings{
-			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			GroupSize:    min(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
 			WPT:          wmax,
 			WPA:          -wmax / 2,
 			ancPerTarget: func(gs int) int { return 2*gs - 1 },
@@ -122,7 +122,7 @@ func (g *Generator) propagationSettings(cat Category, n int) PropagationSettings
 	case CategoryStimulatedWhenFaulty: // ESF, SWF ω̂ > θ
 		size := n
 		if consider {
-			size = minInt(n, g.opt.Regime.Nu)
+			size = min(n, g.opt.Regime.Nu)
 		}
 		// |N_a| = 0, ω_t = ωmax, ω_a = 0: Ω = 0, Ω̂ = ωmax.
 		return PropagationSettings{
@@ -145,7 +145,7 @@ func (g *Generator) propagationSettings(cat Category, n int) PropagationSettings
 		// |N_t| = min{⌈n/4⌉, ⌈ν/4⌉}, |N_a| = 2|N_t|-1, ω_t = ωmax,
 		// ω_a = -ωmax/2: Ω = ωmax/2, Ω̂ = -ωmax/2.
 		return PropagationSettings{
-			GroupSize:    minInt(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
+			GroupSize:    min(ceilDiv(n, 4), ceilDiv(g.opt.Regime.Nu, 4)),
 			WT:           wmax,
 			WA:           -wmax / 2,
 			ancPerTarget: func(gs int) int { return 2*gs - 1 },
@@ -161,11 +161,4 @@ func ceilDiv(a, b int) int {
 		return stats.MaxNu
 	}
 	return (a + b - 1) / b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -76,6 +76,40 @@ func (s Signature) Key() string {
 	return sb.String()
 }
 
+// SubsetOf reports whether every failing item of s also fails in t —
+// the consistency test multi-fault diagnosis uses: a single fault is a
+// plausible member of an observed defect cluster when its own signature is
+// contained in the cluster's. Signatures of different lengths are never
+// subsets of one another.
+func (s Signature) SubsetOf(t Signature) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SignatureFromBytes builds an n-item signature whose fail bits are taken
+// from b (bit i of the signature is bit i%8 of b[i/8]; missing bytes read
+// as zero, excess bits are ignored). It gives fuzzers and codecs a way to
+// materialise arbitrary observed signatures.
+func SignatureFromBytes(b []byte, n int) Signature {
+	if n < 0 {
+		n = 0
+	}
+	s := NewSignature(n)
+	for i := 0; i < n; i++ {
+		if i/8 < len(b) && b[i/8]&(1<<uint(i%8)) != 0 {
+			s.SetFail(i)
+		}
+	}
+	return s
+}
+
 // String renders the signature as a 0/1 string, item 0 first.
 func (s Signature) String() string {
 	var sb strings.Builder
@@ -93,6 +127,9 @@ func (s Signature) String() string {
 type Dictionary struct {
 	ts      *pattern.TestSet
 	entries map[string][]fault.Fault
+	// sigs maps each class key back to its signature, so subset queries
+	// (multi-fault candidate search) need not re-parse keys.
+	sigs map[string]Signature
 	// detected counts faults with at least one failing item (the rest are
 	// undetectable by this test set and share the all-pass signature).
 	detected int
@@ -111,6 +148,7 @@ func Build(ts *pattern.TestSet, values fault.Values, transform faultsim.ConfigTr
 	d := &Dictionary{
 		ts:      ts,
 		entries: make(map[string][]fault.Fault),
+		sigs:    make(map[string]Signature),
 		total:   len(universe),
 	}
 	for _, f := range universe {
@@ -125,6 +163,14 @@ func Build(ts *pattern.TestSet, values fault.Values, transform faultsim.ConfigTr
 		}
 		key := sig.Key()
 		d.entries[key] = append(d.entries[key], f)
+		d.sigs[key] = sig
+	}
+	// Classes inherit the caller's universe order, which SampleFaults and
+	// ad-hoc callers do not guarantee; candidate lists are part of repair
+	// plans, so every class is canonicalised to SortFaults order here, once.
+	//lint:ignore interprocedural-determinism each class is sorted in place; the visit order cannot change the result
+	for _, fs := range d.entries {
+		SortFaults(fs)
 	}
 	return d
 }
@@ -144,8 +190,32 @@ func (d *Dictionary) Total() int { return d.total }
 
 // Lookup returns the candidate faults for an observed signature, or nil
 // when the signature matches no dictionary entry (an unmodelled defect).
+// The returned slice is in SortFaults order (guaranteed since Build
+// canonicalises every class) and must not be mutated by the caller.
 func (d *Dictionary) Lookup(sig Signature) []fault.Fault {
 	return d.entries[sig.Key()]
+}
+
+// Candidates returns the faults consistent with an observed signature under
+// the classic multiple-fault heuristic: every dictionary fault whose own
+// failing signature is a non-empty subset of the observation. An exact
+// single-fault match is a special case (its whole class is returned); a
+// clustered defect — several faults on one die, whose merged signature
+// matches no single-fault entry — returns the union of the plausible
+// members. The result is freshly allocated, in SortFaults order; it is
+// empty when no modelled fault explains any failing item.
+func (d *Dictionary) Candidates(sig Signature) []fault.Fault {
+	var out []fault.Fault
+	//lint:ignore interprocedural-determinism keyed filter; membership depends only on each class signature, and the result is sorted below
+	for key, fs := range d.entries {
+		cs := d.sigs[key]
+		if !cs.AnyFail() || !cs.SubsetOf(sig) {
+			continue
+		}
+		out = append(out, fs...)
+	}
+	SortFaults(out)
+	return out
 }
 
 // Resolution summarises how sharply the dictionary localises faults.

@@ -187,3 +187,166 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// TestLookupReturnsSortFaultsOrder is the repair-determinism regression:
+// candidate slices must come back in SortFaults order no matter how the
+// universe was ordered at Build time (plans iterate candidates directly).
+func TestLookupReturnsSortFaultsOrder(t *testing.T) {
+	arch := snn.Arch{8, 6, 4}
+	g, merged := buildSuite(t, arch)
+	universe := fullUniverse(arch)
+	// Deterministically scramble the universe before building.
+	shuffled := make([]fault.Fault, len(universe))
+	copy(shuffled, universe)
+	for i := range shuffled {
+		j := (i*2654435761 + 17) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	dict := Build(merged, g.Options().Values, nil, shuffled)
+	checked := 0
+	for _, f := range universe {
+		sig := ObserveChip(merged, nil, f.Modifiers(g.Options().Values))
+		got := dict.Lookup(sig)
+		if len(got) < 2 {
+			continue
+		}
+		checked++
+		want := make([]fault.Fault, len(got))
+		copy(want, got)
+		SortFaults(want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Lookup(%v) class not in SortFaults order: %v", f, got)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no multi-fault classes at this size; ordering vacuous")
+	}
+}
+
+func TestCandidatesCoverInjectedCluster(t *testing.T) {
+	arch := snn.Arch{8, 6, 4}
+	g, merged := buildSuite(t, arch)
+	universe := fullUniverse(arch)
+	dict := Build(merged, g.Options().Values, nil, universe)
+
+	f1 := fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 2})
+	f2 := fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 1, Pre: 3, Post: 1})
+	cluster := snn.MergeModifiers(f1.Modifiers(g.Options().Values), f2.Modifiers(g.Options().Values))
+	sig := ObserveChip(merged, nil, cluster)
+
+	cands := dict.Candidates(sig)
+	has := func(f fault.Fault) bool {
+		for _, c := range cands {
+			if c == f {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(f1) || !has(f2) {
+		t.Fatalf("candidates %v miss injected cluster members %v, %v", cands, f1, f2)
+	}
+	sorted := make([]fault.Fault, len(cands))
+	copy(sorted, cands)
+	SortFaults(sorted)
+	for i := range cands {
+		if cands[i] != sorted[i] {
+			t.Fatalf("Candidates not in SortFaults order: %v", cands)
+		}
+	}
+	// An all-pass observation is consistent with no failing fault.
+	if got := dict.Candidates(NewSignature(len(merged.Items))); len(got) != 0 {
+		t.Errorf("all-pass signature returned %d candidates", len(got))
+	}
+}
+
+func TestSubsetOfAndFromBytes(t *testing.T) {
+	a := NewSignature(70)
+	a.SetFail(3)
+	a.SetFail(69)
+	b := NewSignature(70)
+	b.SetFail(3)
+	if !b.SubsetOf(a) || a.SubsetOf(b) {
+		t.Errorf("subset relation wrong")
+	}
+	if !a.SubsetOf(a) {
+		t.Errorf("signature not subset of itself")
+	}
+	if a.SubsetOf(NewSignature(10)) {
+		t.Errorf("length-mismatched signatures must not be subsets")
+	}
+	empty := NewSignature(70)
+	if !empty.SubsetOf(a) {
+		t.Errorf("empty signature must be subset of everything")
+	}
+
+	s := SignatureFromBytes([]byte{0x05}, 10) // bits 0 and 2
+	if !s.Fails(0) || s.Fails(1) || !s.Fails(2) || s.CountFails() != 2 {
+		t.Errorf("FromBytes = %s", s)
+	}
+	if got := SignatureFromBytes(nil, 5); got.AnyFail() {
+		t.Errorf("missing bytes must read as zero")
+	}
+	if got := SignatureFromBytes([]byte{0xff, 0xff}, 3); got.CountFails() != 3 {
+		t.Errorf("excess bits must be ignored: %s", got)
+	}
+	if got := SignatureFromBytes([]byte{0xff}, -1); got.AnyFail() {
+		t.Errorf("negative n must clamp to empty")
+	}
+}
+
+// TestResolutionEdgeCases pins Resolution on the three boundary shapes:
+// an empty dictionary, a universe collapsed into one class, and a fully
+// distinguished universe.
+func TestResolutionEdgeCases(t *testing.T) {
+	_, merged := buildSuite(t, snn.Arch{8, 6, 4})
+	n := len(merged.Items)
+
+	empty := Build(merged, fault.PaperValues(snn.DefaultParams().Theta), nil, nil)
+	if r := empty.Resolution(); r != (Resolution{}) {
+		t.Errorf("empty dictionary resolution = %+v", r)
+	}
+	if empty.Total() != 0 || empty.Detected() != 0 || empty.Classes() != 0 {
+		t.Errorf("empty dictionary summary: %s", empty)
+	}
+
+	// Hand-built class maps (same package): every fault in one failing class.
+	faults := fault.Universe(snn.Arch{8, 6, 4}, fault.NASF)
+	one := NewSignature(n)
+	one.SetFail(0)
+	all := &Dictionary{
+		ts:       merged,
+		entries:  map[string][]fault.Fault{one.Key(): faults},
+		sigs:     map[string]Signature{one.Key(): one},
+		detected: len(faults),
+		total:    len(faults),
+	}
+	r := all.Resolution()
+	if r.Classes != 1 || r.MaxClassSize != len(faults) || r.UniquelyDiagnosed != 0 {
+		t.Errorf("one-class resolution = %+v", r)
+	}
+	if r.MeanClassSize != float64(len(faults)) {
+		t.Errorf("one-class mean = %v, want %d", r.MeanClassSize, len(faults))
+	}
+
+	// Fully distinguished: one fault per class.
+	entries := make(map[string][]fault.Fault)
+	sigs := make(map[string]Signature)
+	for i, f := range faults {
+		s := NewSignature(n)
+		s.SetFail(i % n)
+		s.SetFail((i / n) + 1)
+		entries[s.Key()] = []fault.Fault{f}
+		sigs[s.Key()] = s
+	}
+	if len(entries) != len(faults) {
+		t.Fatalf("crafted signatures collide: %d classes for %d faults", len(entries), len(faults))
+	}
+	distinct := &Dictionary{ts: merged, entries: entries, sigs: sigs, detected: len(faults), total: len(faults)}
+	r = distinct.Resolution()
+	if r.Classes != len(faults) || r.MaxClassSize != 1 || r.UniquelyDiagnosed != len(faults) || r.MeanClassSize != 1 {
+		t.Errorf("fully-distinguished resolution = %+v", r)
+	}
+}

@@ -124,6 +124,17 @@ type Config struct {
 	OnlineChips  int
 	// OnlineWindow is the per-chip monitoring window in workload stimuli.
 	OnlineWindow int
+	// RepairClusters are the injected fault densities (faults merged per
+	// die) the repair sweep measures recovered yield over.
+	RepairClusters []int
+	// RepairChips is the die population per repair sweep density.
+	RepairChips int
+	// RepairSample caps the modelled fault universe the repair dictionary
+	// is built over (and the pool defects are drawn from).
+	RepairSample int
+	// RepairSpares is the per-core spare axon/neuron reservation — the
+	// repair budget of every swept die.
+	RepairSpares int
 }
 
 // Normalize fills defaults for zero fields and returns the config.
@@ -178,6 +189,18 @@ func (c Config) Normalize() Config {
 	if c.OnlineWindow == 0 {
 		c.OnlineWindow = 256
 	}
+	if len(c.RepairClusters) == 0 {
+		c.RepairClusters = []int{1, 2, 4, 8}
+	}
+	if c.RepairChips == 0 {
+		c.RepairChips = 20
+	}
+	if c.RepairSample == 0 {
+		c.RepairSample = 128
+	}
+	if c.RepairSpares == 0 {
+		c.RepairSpares = 16
+	}
 	return c
 }
 
@@ -197,6 +220,8 @@ func Quick() Config {
 		OnlineFaults:        20,
 		OnlineChips:         20,
 		OnlineWindow:        128,
+		RepairChips:         8,
+		RepairSample:        64,
 	}.Normalize()
 }
 
@@ -286,7 +311,7 @@ func (r *Runner) Suite(arch snn.Arch, m Method, kind fault.Kind, variationAware 
 		ts, err = baseline.Generate("atcpg", kind, opt)
 	case Compression:
 		opt := baseline.CompressionOptions(arch, r.params, r.values, r.seedFor(arch, m, kind))
-		opt.NumConfigs = maxInt(2, r.cfg.BaselineConfigs/2)
+		opt.NumConfigs = max(2, r.cfg.BaselineConfigs/2)
 		opt.PatternsPerConfig = r.cfg.BaselinePatterns * 2
 		opt.FaultSample = r.cfg.BaselineGuide
 		ts, err = baseline.Generate("compression", kind, opt)
@@ -337,13 +362,6 @@ func (r *Runner) seedFor(arch snn.Arch, m Method, kind fault.Kind) uint64 {
 		h = h*131 + uint64(c)
 	}
 	return h*1000003 + uint64(m)*101 + uint64(kind)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // eightBit is the quantization scheme of the Tables 5/6 "with quantization"

@@ -216,6 +216,33 @@ func OnlineTable(arch snn.Arch, readout string, points []OnlinePoint) *report.Ta
 	return t
 }
 
+// RepairTable renders one architecture's repair sweep: recovered yield and
+// post-repair application accuracy vs injected fault density.
+func RepairTable(arch snn.Arch, spares int, points []RepairPoint) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Diagnosis-driven repair sweep — %s model (%d spare lines/core, clustered defects)", arch, spares),
+		"clusters/die", "chips", "healthy", "repaired", "degraded", "unrepairable",
+		"unrepaired yield %", "recovered yield %", "cells retired", "acc golden", "acc pre", "acc post",
+	)
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Clusters),
+			fmt.Sprintf("%d", pt.Chips),
+			fmt.Sprintf("%d", pt.Healthy),
+			fmt.Sprintf("%d", pt.Repaired),
+			fmt.Sprintf("%d", pt.Degraded),
+			fmt.Sprintf("%d", pt.Unrepairable),
+			fmt.Sprintf("%.1f", pt.UnrepairedYield),
+			fmt.Sprintf("%.1f", pt.RecoveredYield),
+			fmt.Sprintf("%d", pt.CellsRetired),
+			fmt.Sprintf("%.4f", pt.MeanGolden),
+			fmt.Sprintf("%.4f", pt.MeanPre),
+			fmt.Sprintf("%.4f", pt.MeanPost),
+		)
+	}
+	return t
+}
+
 // Figure4 reproduces the variation sweep for one architecture: test escape
 // and overkill of every method over the σ axis. It returns the two figures
 // (escape, overkill).

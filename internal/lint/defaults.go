@@ -16,6 +16,9 @@ package lint
 // all wall-clock reads there must flow through its one audited hook.
 // internal/online is included because in-field detector decisions must be
 // bit-reproducible given the chip seed — drift verdicts feed quarantine.
+// internal/repair is included because repair plans must be byte-identical
+// for the same diagnosis and chip config — the plan is the die's shipped
+// known-bad map and feeds the recovered-yield accounting.
 func DeterministicPaths() []string {
 	return []string{
 		"neurotest",
@@ -26,6 +29,7 @@ func DeterministicPaths() []string {
 		"neurotest/internal/obs",
 		"neurotest/internal/online",
 		"neurotest/internal/pattern",
+		"neurotest/internal/repair",
 		"neurotest/internal/report",
 		"neurotest/internal/schedule",
 		"neurotest/internal/service",

@@ -1,0 +1,190 @@
+package repair
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"neurotest/internal/chip"
+	"neurotest/internal/core"
+	"neurotest/internal/fault"
+	"neurotest/internal/pattern"
+	"neurotest/internal/snn"
+)
+
+// buildSuite generates the merged proposed suite for an architecture.
+func buildSuite(t *testing.T, arch snn.Arch) (*core.Generator, *pattern.TestSet) {
+	t.Helper()
+	params := snn.DefaultParams()
+	g, err := core.NewGenerator(core.Options{
+		Arch:   arch,
+		Params: params,
+		Values: fault.PaperValues(params.Theta),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, merged := g.GenerateAll()
+	return g, merged
+}
+
+func fullUniverse(arch snn.Arch) []fault.Fault {
+	var out []fault.Fault
+	for _, k := range fault.Kinds() {
+		out = append(out, fault.Universe(arch, k)...)
+	}
+	return out
+}
+
+// testLoop builds a loop over arch 10-8-3 with a generous spare budget
+// (one 16x16 core per boundary; the workload trains well at this size).
+func testLoop(t *testing.T) *Loop {
+	t.Helper()
+	arch := snn.Arch{10, 8, 3}
+	g, merged := buildSuite(t, arch)
+	l, err := New(Config{
+		TS:       merged,
+		Values:   g.Options().Values,
+		Universe: fullUniverse(arch),
+		Core:     chip.CoreShape{Axons: 16, Neurons: 16},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLoopHealthyDie(t *testing.T) {
+	l := testLoop(t)
+	var events []PhaseEvent
+	rep, plan, err := l.Run(context.Background(), nil, func(ev PhaseEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Healthy || plan != nil {
+		t.Fatalf("defect-free die: %s (plan %v)", rep, plan)
+	}
+	if len(events) != 1 || events[0].Phase != "test" {
+		t.Fatalf("healthy die must stop after the test phase, got %+v", events)
+	}
+	if rep.PreAccuracy != rep.GoldenAccuracy {
+		t.Errorf("healthy accuracy %v != golden %v", rep.PreAccuracy, rep.GoldenAccuracy)
+	}
+}
+
+func TestClosedLoopRepairsInjectedCluster(t *testing.T) {
+	l := testLoop(t)
+	values := fault.PaperValues(snn.DefaultParams().Theta)
+	// A two-fault cluster: an always-spiking hidden neuron plus a stuck
+	// synapse on the output boundary.
+	f1 := fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 2})
+	f2 := fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 1, Pre: 4, Post: 1})
+	defect := snn.MergeModifiers(f1.Modifiers(values), f2.Modifiers(values))
+
+	var phases []string
+	rep, plan, err := l.Run(context.Background(), defect, func(ev PhaseEvent) { phases = append(phases, ev.Phase) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"test", "diagnose", "plan", "reprogram", "retest"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v", phases)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if rep.PreFails == 0 || rep.Candidates == 0 {
+		t.Fatalf("cluster went undetected: %s", rep)
+	}
+	if rep.Verdict != Repaired {
+		t.Fatalf("verdict = %s (plan %v)", rep, plan)
+	}
+	if rep.PostFails != 0 {
+		t.Errorf("repaired die still fails %d items", rep.PostFails)
+	}
+	if rep.PostAccuracy < rep.GoldenAccuracy-DefaultAccuracyBudget {
+		t.Errorf("post accuracy %.4f below golden %.4f - %.2f", rep.PostAccuracy, rep.GoldenAccuracy, DefaultAccuracyBudget)
+	}
+	if plan.Empty() {
+		t.Errorf("repair without actions")
+	}
+	if err := plan.Validate(l.Chip()); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLoopUnrepairableWithoutSpares(t *testing.T) {
+	arch := snn.Arch{8, 8, 8}
+	g, merged := buildSuite(t, arch)
+	l, err := New(Config{
+		TS:       merged,
+		Values:   g.Options().Values,
+		Universe: fullUniverse(arch),
+		Core:     chip.CoreShape{Axons: 8, Neurons: 8}, // fully used, zero spares
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 0})
+	rep, plan, err := l.Run(context.Background(), f.Modifiers(g.Options().Values), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Unrepairable {
+		t.Fatalf("no-spare chip produced %s (plan %v)", rep, plan)
+	}
+	if rep.UnrepairableFaults == 0 {
+		t.Errorf("report hides the uncovered candidates: %s", rep)
+	}
+}
+
+// TestLoopDeterministicUnderConcurrency pins the acceptance bar: the same
+// diagnosis on the same chip yields byte-identical reports and plans across
+// runs and across goroutines (exercised under -race by make race).
+func TestLoopDeterministicUnderConcurrency(t *testing.T) {
+	l := testLoop(t)
+	values := fault.PaperValues(snn.DefaultParams().Theta)
+	f1 := fault.NewNeuronFault(fault.ESF, snn.NeuronID{Layer: 1, Index: 1})
+	f2 := fault.NewSynapseFault(fault.SASF, snn.SynapseID{Boundary: 0, Pre: 3, Post: 4})
+	defect := snn.MergeModifiers(f1.Modifiers(values), f2.Modifiers(values))
+
+	const runs = 6
+	reports := make([]string, runs)
+	plans := make([]string, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, plan, err := l.Run(context.Background(), defect, nil)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			reports[i] = rep.String()
+			plans[i] = plan.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < runs; i++ {
+		if reports[i] != reports[0] {
+			t.Errorf("report %d differs:\n%s\nvs\n%s", i, reports[i], reports[0])
+		}
+		if plans[i] != plans[0] {
+			t.Errorf("plan %d differs:\n%s\nvs\n%s", i, plans[i], plans[0])
+		}
+	}
+}
+
+func TestLoopCancelledContext(t *testing.T) {
+	l := testLoop(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := l.Run(ctx, nil, nil); err == nil {
+		t.Fatal("cancelled context must abort the loop")
+	}
+}

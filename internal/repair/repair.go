@@ -1,0 +1,491 @@
+// Package repair closes the test loop: from a diagnosed candidate fault
+// set (internal/diagnose) it computes a deterministic remapping/bypass plan
+// over the chip's crossbar cells, reprograms the effective configuration,
+// retests (internal/tester) and reports whether the die was rescued.
+//
+// The strategies are the in-field repair moves of the SNN reliability
+// literature (RescueSNN, ReSpawn — see PAPERS.md), adapted to this
+// repository's behavioural fault models:
+//
+//   - RemapColumn moves a faulty neuron column onto a spare column of every
+//     core tile covering it (RescueSNN-style fault-aware mapping). The
+//     faulty neuron circuit and its whole afferent column are retired.
+//   - BypassCell zeroes one stuck synapse cell whose configured weight
+//     magnitude is at or below a margin threshold (ReSpawn-style
+//     significance-aware dropping): an insignificant cell is cheaper to
+//     disconnect than to remap.
+//   - SwapRow moves a faulty axon row onto a spare row of its core —
+//     repairing every cell the row carries at the cost of one spare line.
+//
+// Because the five fault models are behavioural (snn.Modifiers injected at
+// simulation time, never chip state), a repair is modelled as the residual
+// modifier set: actions "cure" the modifier entries whose physical site was
+// remapped away, and a bypassed cell contributes a StuckWeight-0 entry (a
+// disconnected cell). The residual is what the retest and the post-repair
+// application accuracy run against.
+//
+// Determinism: plans are a pure function of (sorted candidate list, chip
+// geometry, configured weights, margin). Candidates are iterated in
+// diagnose.SortFaults order, spare lines are consumed in increasing
+// ordinal, and every tie-break derives from fault-site content — so equal
+// diagnoses on equal chips yield byte-identical plans, which the neurolint
+// determinism analyzer enforces for this package.
+package repair
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"neurotest/internal/chip"
+	"neurotest/internal/diagnose"
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+)
+
+// Strategy identifies one kind of repair move.
+type Strategy int
+
+const (
+	// RemapColumn retires a faulty neuron column onto spare columns.
+	RemapColumn Strategy = iota
+	// SwapRow retires a faulty axon row onto a spare row of its core.
+	SwapRow
+	// BypassCell disconnects one insignificant stuck cell.
+	BypassCell
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case RemapColumn:
+		return "remap-column"
+	case SwapRow:
+		return "swap-row"
+	case BypassCell:
+		return "bypass-cell"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Action is one deterministic move of a repair plan.
+type Action struct {
+	Strategy Strategy
+	// Fault is the diagnosed candidate the action neutralises (the
+	// content-derived tie-break that keeps plan renderings reproducible).
+	Fault fault.Fault
+	// Core is the chip core index holding the retired resource.
+	Core int
+	// Axon is the core-local row (SwapRow, BypassCell).
+	Axon int
+	// Neuron is the core-local column (RemapColumn, BypassCell).
+	Neuron int
+	// Spare is the ordinal of the spare line consumed within the core
+	// (RemapColumn, SwapRow); -1 for BypassCell, which consumes none.
+	Spare int
+	// Cells counts the crossbar cells the action retires or rewires.
+	Cells int
+}
+
+// String renders the action deterministically.
+func (a Action) String() string {
+	switch a.Strategy {
+	case RemapColumn:
+		return fmt.Sprintf("%s core=%d col=%d spare=%d cells=%d (%v)",
+			a.Strategy, a.Core, a.Neuron, a.Spare, a.Cells, a.Fault)
+	case SwapRow:
+		return fmt.Sprintf("%s core=%d row=%d spare=%d cells=%d (%v)",
+			a.Strategy, a.Core, a.Axon, a.Spare, a.Cells, a.Fault)
+	default:
+		return fmt.Sprintf("%s core=%d cell=(%d,%d) (%v)",
+			a.Strategy, a.Core, a.Axon, a.Neuron, a.Fault)
+	}
+}
+
+// colKey addresses one global neuron column of a boundary.
+type colKey struct{ boundary, col int }
+
+// rowSpan records a swapped axon row and the column range its core covers:
+// synapse sites (boundary, pre, post) with post inside [lo, hi) are cured.
+type rowSpan struct {
+	boundary, pre int
+	lo, hi        int
+}
+
+// Plan is a deterministic set of repair actions plus the candidates no
+// strategy could neutralise.
+type Plan struct {
+	// Actions lists the moves in the order the planner emitted them
+	// (candidate SortFaults order; within a column remap, core index order).
+	Actions []Action
+	// Unrepairable lists diagnosed candidates the spare budget and margin
+	// could not cover, in SortFaults order.
+	Unrepairable []fault.Fault
+
+	remappedCols map[colKey]bool
+	swappedRows  []rowSpan
+	bypassed     map[snn.SynapseID]bool
+}
+
+// Columns returns the number of distinct neuron columns remapped.
+func (p *Plan) Columns() int { return len(p.remappedCols) }
+
+// Rows returns the number of axon rows swapped to spares.
+func (p *Plan) Rows() int { return len(p.swappedRows) }
+
+// Bypassed returns the number of individual cells disconnected.
+func (p *Plan) Bypassed() int { return len(p.bypassed) }
+
+// CellsRetired sums the crossbar cells all actions retire or rewire.
+func (p *Plan) CellsRetired() int {
+	n := 0
+	for _, a := range p.Actions {
+		n += a.Cells
+	}
+	return n
+}
+
+// Empty reports whether the plan performs no action.
+func (p *Plan) Empty() bool { return p == nil || len(p.Actions) == 0 }
+
+// curesNeuron reports whether the plan retires the neuron's column.
+func (p *Plan) curesNeuron(id snn.NeuronID) bool {
+	if id.Layer < 1 {
+		return false
+	}
+	return p.remappedCols[colKey{boundary: id.Layer - 1, col: id.Index}]
+}
+
+// curesSynapse reports whether the plan rewires the synapse's cell.
+func (p *Plan) curesSynapse(id snn.SynapseID) bool {
+	if p.remappedCols[colKey{boundary: id.Boundary, col: id.Post}] {
+		return true
+	}
+	for _, r := range p.swappedRows {
+		if r.boundary == id.Boundary && r.pre == id.Pre && id.Post >= r.lo && id.Post < r.hi {
+			return true
+		}
+	}
+	return p.bypassed[id]
+}
+
+// Uncured filters the die's defect modifiers down to the entries no plan
+// action covers — the *unknown* defect remaining after repair. This is what
+// the structural retest runs against: remapped and bypassed sites are
+// retired resources on the die's known-bad map, so the retest masks them
+// the way memory test masks mapped-out rows; any surviving entry here is a
+// defect the repair failed to neutralise and must fail the retest. The
+// input is not mutated; nil means every defect site was covered.
+func (p *Plan) Uncured(defect *snn.Modifiers) *snn.Modifiers {
+	out := p.filterCured(defect)
+	if out.Empty() {
+		return nil
+	}
+	return out
+}
+
+// Residual maps the die's defect modifiers through the plan into the die's
+// true post-repair behaviour: entries whose physical site the plan remapped
+// away disappear, and every bypassed cell contributes a stuck-at-zero
+// weight (the disconnected cell). Application-accuracy evaluation runs
+// against this — unlike the masked retest (Uncured), the application pays
+// for every disconnected cell. The input is not mutated; nil is returned
+// when nothing remains (a fully cured die with no bypasses).
+func (p *Plan) Residual(defect *snn.Modifiers) *snn.Modifiers {
+	out := p.filterCured(defect)
+	// A bypassed cell is disconnected: its effective weight is stuck at 0
+	// whatever the configuration asks for. Actions are a slice, so the
+	// iteration order is the planner's deterministic emission order.
+	for _, a := range p.Actions {
+		if a.Strategy != BypassCell {
+			continue
+		}
+		if out.StuckWeight == nil {
+			out.StuckWeight = make(map[snn.SynapseID]float64)
+		}
+		out.StuckWeight[a.Fault.Synapse] = 0
+	}
+	if out.Empty() {
+		return nil
+	}
+	return out
+}
+
+// filterCured drops defect entries whose physical site the plan retired.
+func (p *Plan) filterCured(defect *snn.Modifiers) *snn.Modifiers {
+	out := &snn.Modifiers{}
+	if defect != nil {
+		// Keyed map-to-map filters: membership depends only on each entry's
+		// own site, so the randomized iteration order cannot change the
+		// filtered result.
+		//lint:ignore determinism keyed filter; kept entries depend only on their own site
+		for id, v := range defect.ThresholdOverride {
+			if p.curesNeuron(id) {
+				continue
+			}
+			if out.ThresholdOverride == nil {
+				out.ThresholdOverride = make(map[snn.NeuronID]float64)
+			}
+			out.ThresholdOverride[id] = v
+		}
+		//lint:ignore determinism keyed filter; kept entries depend only on their own site
+		for id, v := range defect.ForceSpike {
+			if p.curesNeuron(id) {
+				continue
+			}
+			if out.ForceSpike == nil {
+				out.ForceSpike = make(map[snn.NeuronID]bool)
+			}
+			out.ForceSpike[id] = v
+		}
+		//lint:ignore determinism keyed filter; kept entries depend only on their own site
+		for id, v := range defect.StuckWeight {
+			if p.curesSynapse(id) {
+				continue
+			}
+			if out.StuckWeight == nil {
+				out.StuckWeight = make(map[snn.SynapseID]float64)
+			}
+			out.StuckWeight[id] = v
+		}
+		//lint:ignore determinism keyed filter; kept entries depend only on their own site
+		for id, v := range defect.AlwaysOnSynapse {
+			if p.curesSynapse(id) {
+				continue
+			}
+			if out.AlwaysOnSynapse == nil {
+				out.AlwaysOnSynapse = make(map[snn.SynapseID]bool)
+			}
+			out.AlwaysOnSynapse[id] = v
+		}
+	}
+	return out
+}
+
+// String renders the plan deterministically: a summary line followed by one
+// line per action and per unrepairable candidate.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan: %d actions (%d columns remapped, %d rows swapped, %d cells bypassed), %d cells retired, %d unrepairable",
+		len(p.Actions), p.Columns(), p.Rows(), p.Bypassed(), p.CellsRetired(), len(p.Unrepairable))
+	for _, a := range p.Actions {
+		sb.WriteString("\n  ")
+		sb.WriteString(a.String())
+	}
+	for _, f := range p.Unrepairable {
+		fmt.Fprintf(&sb, "\n  unrepairable %v", f)
+	}
+	return sb.String()
+}
+
+// Planner computes repair plans over one chip geometry and the application
+// configuration programmed into it.
+type Planner struct {
+	// Chip supplies the crossbar geometry and per-core spare budgets.
+	Chip *chip.Chip
+	// Net is the application configuration whose weights judge cell
+	// significance for BypassCell (ReSpawn-style dropping); nil disables
+	// the bypass strategy entirely.
+	Net *snn.Network
+	// Margin is the |weight| threshold at or below which a stuck cell is
+	// bypassed instead of remapped. Only meaningful with a non-nil Net.
+	Margin float64
+}
+
+// Plan computes the deterministic repair plan for a diagnosed candidate
+// set. Candidates are processed in diagnose.SortFaults order; duplicates
+// and candidates already cured by earlier actions are skipped. A candidate
+// whose site falls outside the chip's architecture is an error (the
+// dictionary and chip must describe the same device).
+func (pl Planner) Plan(candidates []fault.Fault) (*Plan, error) {
+	if pl.Chip == nil {
+		return nil, fmt.Errorf("repair: planner has no chip")
+	}
+	arch := pl.Chip.Config().Arch
+	sorted := make([]fault.Fault, len(candidates))
+	copy(sorted, candidates)
+	diagnose.SortFaults(sorted)
+
+	p := &Plan{
+		remappedCols: make(map[colKey]bool),
+		bypassed:     make(map[snn.SynapseID]bool),
+	}
+	// Per-core spare budgets, consumed in increasing ordinal.
+	nCores := pl.Chip.NumCores()
+	spareRows := make([]int, nCores)
+	spareCols := make([]int, nCores)
+	usedRows := make([]int, nCores)
+	usedCols := make([]int, nCores)
+	for i := 0; i < nCores; i++ {
+		spareRows[i] = pl.Chip.Core(i).SpareAxons
+		spareCols[i] = pl.Chip.Core(i).SpareNeurons
+	}
+
+	var prev *fault.Fault
+	for i := range sorted {
+		f := sorted[i]
+		if prev != nil && *prev == f {
+			continue
+		}
+		prev = &sorted[i]
+		if f.Kind.IsNeuronFault() {
+			if f.Neuron.Layer < 1 || f.Neuron.Layer >= arch.Layers() ||
+				f.Neuron.Index < 0 || f.Neuron.Index >= arch[f.Neuron.Layer] {
+				return nil, fmt.Errorf("repair: candidate %v outside architecture %v", f, arch)
+			}
+			if p.curesNeuron(f.Neuron) {
+				continue
+			}
+			if !pl.remapColumn(p, f, f.Neuron.Layer-1, f.Neuron.Index, spareCols, usedCols) {
+				p.Unrepairable = append(p.Unrepairable, f)
+			}
+			continue
+		}
+		s := f.Synapse
+		if s.Boundary < 0 || s.Boundary >= arch.Boundaries() ||
+			s.Pre < 0 || s.Pre >= arch[s.Boundary] ||
+			s.Post < 0 || s.Post >= arch[s.Boundary+1] {
+			return nil, fmt.Errorf("repair: candidate %v outside architecture %v", f, arch)
+		}
+		if p.curesSynapse(s) {
+			continue
+		}
+		ci, co := pl.coveringCore(s)
+		if co == nil {
+			return nil, fmt.Errorf("repair: no core covers %v on chip %v", f, arch)
+		}
+		if pl.insignificant(s) {
+			p.Actions = append(p.Actions, Action{
+				Strategy: BypassCell, Fault: f, Core: ci,
+				Axon: s.Pre - co.AxonOff, Neuron: s.Post - co.NeuronOff,
+				Spare: -1, Cells: 1,
+			})
+			p.bypassed[s] = true
+			continue
+		}
+		if spareRows[ci] > 0 {
+			spareRows[ci]--
+			p.Actions = append(p.Actions, Action{
+				Strategy: SwapRow, Fault: f, Core: ci,
+				Axon: s.Pre - co.AxonOff, Neuron: -1,
+				Spare: usedRows[ci], Cells: co.Neurons,
+			})
+			usedRows[ci]++
+			p.swappedRows = append(p.swappedRows, rowSpan{
+				boundary: s.Boundary, pre: s.Pre,
+				lo: co.NeuronOff, hi: co.NeuronOff + co.Neurons,
+			})
+			continue
+		}
+		// No spare row: fall back to retiring the whole column.
+		if !pl.remapColumn(p, f, s.Boundary, s.Post, spareCols, usedCols) {
+			p.Unrepairable = append(p.Unrepairable, f)
+		}
+	}
+	return p, nil
+}
+
+// remapColumn retires global column col of boundary b onto spare columns.
+// Every core tile covering the column (one per row stripe) must hold a
+// spare, because the remapped column needs its full afferent fan-in; the
+// plan gets one action per covering core. Returns false when any covering
+// core's spare-column budget is exhausted (nothing is consumed then).
+func (pl Planner) remapColumn(p *Plan, f fault.Fault, b, col int, spareCols, usedCols []int) bool {
+	var covering []int
+	for i := 0; i < pl.Chip.NumCores(); i++ {
+		co := pl.Chip.Core(i)
+		if co.Boundary == b && col >= co.NeuronOff && col < co.NeuronOff+co.Neurons {
+			covering = append(covering, i)
+		}
+	}
+	if len(covering) == 0 {
+		return false
+	}
+	for _, i := range covering {
+		if spareCols[i] < 1 {
+			return false
+		}
+	}
+	for _, i := range covering {
+		co := pl.Chip.Core(i)
+		spareCols[i]--
+		p.Actions = append(p.Actions, Action{
+			Strategy: RemapColumn, Fault: f, Core: i,
+			Axon: -1, Neuron: col - co.NeuronOff,
+			Spare: usedCols[i], Cells: co.Axons,
+		})
+		usedCols[i]++
+	}
+	p.remappedCols[colKey{boundary: b, col: col}] = true
+	return true
+}
+
+// coveringCore finds the unique core tile holding a synapse cell.
+func (pl Planner) coveringCore(s snn.SynapseID) (int, *chip.Core) {
+	for i := 0; i < pl.Chip.NumCores(); i++ {
+		co := pl.Chip.Core(i)
+		if co.Boundary == s.Boundary &&
+			s.Pre >= co.AxonOff && s.Pre < co.AxonOff+co.Axons &&
+			s.Post >= co.NeuronOff && s.Post < co.NeuronOff+co.Neurons {
+			return i, co
+		}
+	}
+	return -1, nil
+}
+
+// insignificant reports whether the configured weight magnitude of cell s
+// is within the bypass margin (ReSpawn's significance test).
+func (pl Planner) insignificant(s snn.SynapseID) bool {
+	if pl.Net == nil {
+		return false
+	}
+	nOut := pl.Net.Arch[s.Boundary+1]
+	return math.Abs(pl.Net.W[s.Boundary][s.Pre*nOut+s.Post]) <= pl.Margin
+}
+
+// Validate checks the plan against a chip: every action must address an
+// existing core, stay inside the core's used geometry, and the per-core
+// spare consumption must fit the core's budget. A fuzzing invariant: any
+// plan the planner emits for any diagnosis validates against its chip.
+func (p *Plan) Validate(c *chip.Chip) error {
+	if p == nil {
+		return fmt.Errorf("repair: nil plan")
+	}
+	rows := make([]int, c.NumCores())
+	cols := make([]int, c.NumCores())
+	for i, a := range p.Actions {
+		if a.Core < 0 || a.Core >= c.NumCores() {
+			return fmt.Errorf("repair: action %d core %d outside [0,%d)", i, a.Core, c.NumCores())
+		}
+		co := c.Core(a.Core)
+		switch a.Strategy {
+		case RemapColumn:
+			if a.Neuron < 0 || a.Neuron >= co.Neurons {
+				return fmt.Errorf("repair: action %d column %d outside core width %d", i, a.Neuron, co.Neurons)
+			}
+			cols[a.Core]++
+		case SwapRow:
+			if a.Axon < 0 || a.Axon >= co.Axons {
+				return fmt.Errorf("repair: action %d row %d outside core height %d", i, a.Axon, co.Axons)
+			}
+			rows[a.Core]++
+		case BypassCell:
+			if a.Axon < 0 || a.Axon >= co.Axons || a.Neuron < 0 || a.Neuron >= co.Neurons {
+				return fmt.Errorf("repair: action %d cell (%d,%d) outside %dx%d core", i, a.Axon, a.Neuron, co.Axons, co.Neurons)
+			}
+		default:
+			return fmt.Errorf("repair: action %d has unknown strategy %v", i, a.Strategy)
+		}
+	}
+	for i := 0; i < c.NumCores(); i++ {
+		co := c.Core(i)
+		if rows[i] > co.SpareAxons {
+			return fmt.Errorf("repair: core %d consumes %d spare rows of %d", i, rows[i], co.SpareAxons)
+		}
+		if cols[i] > co.SpareNeurons {
+			return fmt.Errorf("repair: core %d consumes %d spare columns of %d", i, cols[i], co.SpareNeurons)
+		}
+	}
+	return nil
+}

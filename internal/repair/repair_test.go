@@ -1,0 +1,211 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"neurotest/internal/chip"
+	"neurotest/internal/fault"
+	"neurotest/internal/snn"
+)
+
+// testChip builds a programmed chip whose geometry the planner tests pin:
+// arch 8-6-4 on 8x8 cores with 2 spare rows/columns reserved (stride 6),
+// so boundary 0 splits into two row stripes and boundary 1 is one core.
+func testChip(t *testing.T, weight float64) (*chip.Chip, *snn.Network) {
+	t.Helper()
+	arch := snn.Arch{8, 6, 4}
+	params := snn.DefaultParams()
+	net := snn.New(arch, params)
+	for b := 0; b < arch.Boundaries(); b++ {
+		for i := range net.W[b] {
+			net.W[b][i] = weight
+		}
+	}
+	c, err := chip.New(chip.Config{
+		Arch: arch, Params: params,
+		Core:       chip.CoreShape{Axons: 8, Neurons: 8},
+		WeightBits: 8, SpareAxons: 2, SpareNeurons: 2,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	return c, net
+}
+
+func TestPlanRemapColumnCuresNeuronFault(t *testing.T) {
+	c, net := testChip(t, 0.9)
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	f := fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 1, Index: 2})
+	plan, err := pl.Plan([]fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 2 of boundary 0 is covered by both row stripes: two actions.
+	if len(plan.Actions) != 2 || plan.Columns() != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	for _, a := range plan.Actions {
+		if a.Strategy != RemapColumn || a.Neuron != 2 {
+			t.Errorf("unexpected action %v", a)
+		}
+	}
+	if plan.CellsRetired() != 6+2 { // stripe heights 6 and 2
+		t.Errorf("CellsRetired = %d", plan.CellsRetired())
+	}
+	if res := plan.Residual(f.Modifiers(fault.PaperValues(1))); res != nil {
+		t.Errorf("residual after column remap = %+v", res)
+	}
+	if err := plan.Validate(c); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPlanBypassesInsignificantCell(t *testing.T) {
+	c, net := testChip(t, 0.9)
+	// Make one cell insignificant; its stuck fault must be bypassed.
+	id := snn.SynapseID{Boundary: 0, Pre: 1, Post: 3}
+	net.SetEntry(0, 1, 3, 0.05)
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	f := fault.NewSynapseFault(fault.SWF, id)
+	plan, err := pl.Plan([]fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) != 1 || plan.Actions[0].Strategy != BypassCell {
+		t.Fatalf("plan = %v", plan)
+	}
+	res := plan.Residual(f.Modifiers(fault.PaperValues(1)))
+	if res == nil || res.StuckWeight[id] != 0 {
+		t.Fatalf("bypass must leave the cell stuck at zero, got %+v", res)
+	}
+	if err := plan.Validate(c); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPlanSwapsRowForSignificantCell(t *testing.T) {
+	c, net := testChip(t, 0.9)
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	f := fault.NewSynapseFault(fault.SASF, snn.SynapseID{Boundary: 0, Pre: 1, Post: 3})
+	plan, err := pl.Plan([]fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) != 1 || plan.Actions[0].Strategy != SwapRow {
+		t.Fatalf("plan = %v", plan)
+	}
+	// The swap cures every cell of the row inside the core's column span —
+	// a second fault on the same row must not consume another spare.
+	f2 := fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 0, Pre: 1, Post: 5})
+	plan, err = pl.Plan([]fault.Fault{f, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) != 1 || plan.Rows() != 1 {
+		t.Fatalf("same-row faults must share one swap, plan = %v", plan)
+	}
+	mods := snn.MergeModifiers(f.Modifiers(fault.PaperValues(1)), f2.Modifiers(fault.PaperValues(1)))
+	if res := plan.Residual(mods); res != nil {
+		t.Errorf("residual after row swap = %+v", res)
+	}
+}
+
+func TestPlanExhaustsSparesDeterministically(t *testing.T) {
+	// 8x8 cores with zero reservation and arch 8-8-8: every core is fully
+	// used, so significant synapse faults have no spare row and no spare
+	// column to fall back to.
+	arch := snn.Arch{8, 8, 8}
+	params := snn.DefaultParams()
+	net := snn.New(arch, params)
+	for b := range net.W {
+		for i := range net.W[b] {
+			net.W[b][i] = 0.9
+		}
+	}
+	c, err := chip.New(chip.Config{
+		Arch: arch, Params: params,
+		Core: chip.CoreShape{Axons: 8, Neurons: 8}, WeightBits: 8,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(net); err != nil {
+		t.Fatal(err)
+	}
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	f := fault.NewSynapseFault(fault.SASF, snn.SynapseID{Boundary: 1, Pre: 2, Post: 2})
+	plan, err := pl.Plan([]fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Actions) != 0 || len(plan.Unrepairable) != 1 {
+		t.Fatalf("expected unrepairable, plan = %v", plan)
+	}
+	if err := plan.Validate(c); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPlanDeterministicUnderCandidateOrder(t *testing.T) {
+	c, net := testChip(t, 0.9)
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	cands := []fault.Fault{
+		fault.NewSynapseFault(fault.SASF, snn.SynapseID{Boundary: 0, Pre: 7, Post: 1}),
+		fault.NewNeuronFault(fault.NASF, snn.NeuronID{Layer: 2, Index: 3}),
+		fault.NewSynapseFault(fault.SWF, snn.SynapseID{Boundary: 1, Pre: 0, Post: 0}),
+		fault.NewNeuronFault(fault.HSF, snn.NeuronID{Layer: 1, Index: 4}),
+	}
+	base, err := pl.Plan(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed, duplicated — the plan rendering must be byte-identical.
+	rev := make([]fault.Fault, 0, 2*len(cands))
+	for i := len(cands) - 1; i >= 0; i-- {
+		rev = append(rev, cands[i], cands[i])
+	}
+	again, err := pl.Plan(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != again.String() {
+		t.Fatalf("plan depends on candidate order:\n%s\nvs\n%s", base, again)
+	}
+	if !strings.Contains(base.String(), "remap-column") {
+		t.Errorf("expected a column remap in %s", base)
+	}
+}
+
+func TestPlanRejectsOutOfArchCandidates(t *testing.T) {
+	c, net := testChip(t, 0.9)
+	pl := Planner{Chip: c, Net: net, Margin: 0.1}
+	bad := []fault.Fault{
+		{Kind: fault.NASF, Neuron: snn.NeuronID{Layer: 9, Index: 0}},
+		{Kind: fault.SWF, Synapse: snn.SynapseID{Boundary: 0, Pre: 99, Post: 0}},
+	}
+	for _, f := range bad {
+		if _, err := pl.Plan([]fault.Fault{f}); err == nil {
+			t.Errorf("candidate %v outside arch must error", f)
+		}
+	}
+}
+
+func TestValidateCatchesForgedActions(t *testing.T) {
+	c, _ := testChip(t, 0.9)
+	forged := []Plan{
+		{Actions: []Action{{Strategy: RemapColumn, Core: 99, Neuron: 0}}},
+		{Actions: []Action{{Strategy: BypassCell, Core: 0, Axon: -1, Neuron: 0}}},
+		{Actions: []Action{{Strategy: SwapRow, Core: 0, Axon: 7, Spare: 0},
+			{Strategy: SwapRow, Core: 0, Axon: 6, Spare: 1},
+			{Strategy: SwapRow, Core: 0, Axon: 5, Spare: 2}}}, // 3 swaps > 2 spares
+	}
+	for i := range forged {
+		if err := forged[i].Validate(c); err == nil {
+			t.Errorf("forged plan %d validated", i)
+		}
+	}
+}

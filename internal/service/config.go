@@ -81,7 +81,7 @@ func DefaultConfig() Config {
 	return Config{
 		Addr:          "localhost:7823",
 		QueueCapacity: 64,
-		Workers:       maxInt(1, runtime.GOMAXPROCS(0)/2),
+		Workers:       max(1, runtime.GOMAXPROCS(0)/2),
 		CacheBytes:    256 << 20,
 		MaxWeights:    16 << 20,
 	}
@@ -228,11 +228,4 @@ func supervised(name string, errc chan<- error, fn func() error) {
 		}()
 		errc <- fn()
 	}()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -24,12 +24,14 @@ import (
 	"strings"
 	"time"
 
+	"neurotest"
 	"neurotest/internal/apptest"
 	"neurotest/internal/cluster"
 	"neurotest/internal/fault"
 	"neurotest/internal/obs"
 	"neurotest/internal/online"
 	"neurotest/internal/quant"
+	"neurotest/internal/repair"
 	"neurotest/internal/snn"
 	"neurotest/internal/tester"
 	"neurotest/internal/unreliable"
@@ -135,6 +137,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/shards/coverage", s.handleCoverageShard)
 	s.mux.HandleFunc("POST /v1/shards/sessions", s.handleSessionsShard)
 	s.mux.HandleFunc("POST /v1/monitor", s.handleMonitor)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
@@ -256,10 +259,15 @@ type monitorRequest struct {
 	CUSUMSlack     float64 `json:"cusum_slack"`
 	WarmUp         int     `json:"warm_up"`
 	// Escalation retest policy and pass band.
-	MaxRetests int    `json:"max_retests"`
-	Vote       bool   `json:"vote"`
-	Tolerance  int    `json:"tolerance"`
-	Seed       uint64 `json:"seed"`
+	MaxRetests int  `json:"max_retests"`
+	Vote       bool `json:"vote"`
+	Tolerance  int  `json:"tolerance"`
+	// Repair escalates one step further: chips whose structural retest
+	// fails (or quarantines) are pushed through a closed repair loop
+	// (test→diagnose→plan→reprogram→retest) and the repair verdict is
+	// attached to the alarm event.
+	Repair bool   `json:"repair"`
+	Seed   uint64 `json:"seed"`
 }
 
 // monitorEvent is one NDJSON progress line of a /v1/monitor job: a chip
@@ -274,6 +282,9 @@ type monitorEvent struct {
 	Observation int     `json:"observation"`
 	Verdict     string  `json:"verdict"`
 	RetestItems int     `json:"retest_items"`
+	// RepairVerdict is set when the monitor request asked for repair
+	// escalation and this chip's retest failed.
+	RepairVerdict string `json:"repair_verdict,omitempty"`
 }
 
 type monitorJobResult struct {
@@ -291,6 +302,75 @@ type monitorJobResult struct {
 	MeanDetectionLatency float64 `json:"mean_detection_latency"`
 	Observations         int     `json:"observations"`
 	Dropped              int     `json:"dropped"`
+	// Repaired counts failing chips the repair escalation rescued.
+	Repaired int `json:"repaired,omitempty"`
+}
+
+// repairRequest describes a /v1/repair job: a population of dies carrying
+// injected defect clusters, pushed through the closed repair loop.
+type repairRequest struct {
+	generateRequest
+	// Chips is the population size (>= 1).
+	Chips int `json:"chips"`
+	// Clusters is the number of faults merged into each die's defect
+	// (0 = defect-free dies, capped at 8 — the sweep's densest point).
+	Clusters int `json:"clusters"`
+	// Sample caps the modelled fault universe the dictionary is built over
+	// (dictionary construction is universe x items fault simulation;
+	// 0 = default 128, capped at 2048).
+	Sample int `json:"sample"`
+	// SpareAxons / SpareNeurons reserve spare lines per core — the repair
+	// budget (0 = default 8; tail tiles may hold more).
+	SpareAxons   int `json:"spare_axons"`
+	SpareNeurons int `json:"spare_neurons"`
+	// WeightBits is the chip's weight-memory width (0 = 8).
+	WeightBits int `json:"weight_bits"`
+	// WorkloadSamples sizes the application dataset judging post-repair
+	// accuracy (0 = default 64, capped at 1024).
+	WorkloadSamples int `json:"workload_samples"`
+	// Margin is the |weight| bypass threshold (0 = default fraction of θ).
+	Margin float64 `json:"margin"`
+	// Tolerance is the retest pass band in spike counts.
+	Tolerance int `json:"tolerance"`
+	// AccuracyBudget is the tolerated post-repair accuracy loss (0 = 2%).
+	AccuracyBudget float64 `json:"accuracy_budget"`
+	Seed           uint64  `json:"seed"`
+}
+
+// repairEvent is one NDJSON line of a /v1/repair job stream: a loop phase
+// completing on one die, or the die's terminal verdict.
+type repairEvent struct {
+	Event   string `json:"event"` // "phase" or "verdict"
+	Chip    int    `json:"chip"`
+	Phase   string `json:"phase,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	// Verdict-event extras.
+	CellsRetired int     `json:"cells_retired,omitempty"`
+	PostFails    int     `json:"post_fails,omitempty"`
+	PostAccuracy float64 `json:"post_accuracy,omitempty"`
+}
+
+// repairJobResult is the terminal summary of a /v1/repair job.
+type repairJobResult struct {
+	SuiteKey           string  `json:"suite_key"`
+	Chips              int     `json:"chips"`
+	Clusters           int     `json:"clusters"`
+	DictionaryFaults   int     `json:"dictionary_faults"`
+	DictionaryClasses  int     `json:"dictionary_classes"`
+	Healthy            int     `json:"healthy"`
+	Repaired           int     `json:"repaired"`
+	Degraded           int     `json:"degraded"`
+	Unrepairable       int     `json:"unrepairable"`
+	ColumnsRemapped    int     `json:"columns_remapped"`
+	RowsSwapped        int     `json:"rows_swapped"`
+	CellsBypassed      int     `json:"cells_bypassed"`
+	CellsRetired       int     `json:"cells_retired"`
+	UnrepairedYield    float64 `json:"unrepaired_yield_pct"`
+	RecoveredYield     float64 `json:"recovered_yield_pct"`
+	MeanGoldenAccuracy float64 `json:"mean_golden_accuracy"`
+	MeanPreAccuracy    float64 `json:"mean_pre_accuracy"`
+	MeanPostAccuracy   float64 `json:"mean_post_accuracy"`
 }
 
 // --- request resolution ---------------------------------------------------
@@ -667,7 +747,7 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 		// onto the chip's architecture, plus its golden spike statistics.
 		_, work := obs.StartSpan(ctx, "golden-capture")
 		classes := spec.Arch.Outputs()
-		perClass := maxInt(2, samples/classes)
+		perClass := max(2, samples/classes)
 		ds, err := apptest.Synthetic(spec.Arch.Inputs(), classes, perClass, 0.3, 0.05, req.Seed+101)
 		if err != nil {
 			work.End()
@@ -707,6 +787,34 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 			Detector: detector,
 			Policy:   tester.RetestPolicy{MaxRetests: req.MaxRetests, Vote: req.Vote},
 		}
+		// Lazily built repair substrate for the Repair escalation: most
+		// monitor runs never escalate past retest, and dictionary
+		// construction is the expensive part of the closed loop.
+		var rloop *repair.Loop
+		repairLoop := func() (*repair.Loop, error) {
+			if rloop != nil {
+				return rloop, nil
+			}
+			kinds := []fault.Kind{spec.Kind}
+			if spec.KindAll {
+				kinds = fault.Kinds()
+			}
+			sample := req.Sample
+			if sample == 0 {
+				sample = defaultRepairSample
+			}
+			universe := tester.SampleFaults(spec.Arch, kinds, sample, req.Seed+41)
+			if len(universe) == 0 {
+				return nil, badf("empty fault universe for %v", spec.Arch)
+			}
+			var err error
+			rloop, err = newRepairLoop(art, spec, universe, repairRequest{
+				SpareAxons: defaultRepairSpares, SpareNeurons: defaultRepairSpares,
+				WorkloadSamples: samples, Tolerance: req.Tolerance, Seed: req.Seed,
+			})
+			return rloop, err
+		}
+		repaired := 0
 		var stats online.FieldStats
 		for i := 0; i < req.Chips; i++ {
 			chip := online.FieldChip{Index: i, Profile: prof, Seed: monitorChipSeed(req.Seed, i)}
@@ -732,6 +840,22 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 				if rep.Retest != nil {
 					ev.RetestItems = rep.Retest.ItemsRun
 				}
+				// The last escalation step: chips the retest condemns get
+				// one shot at diagnosis-driven repair before scrapping.
+				if req.Repair && (rep.Verdict == online.Fail || rep.Verdict == online.Quarantine) {
+					loop, err := repairLoop()
+					if err != nil {
+						return nil, err
+					}
+					rrep, _, err := loop.Run(ctx, chip.Mods, nil)
+					if err != nil {
+						return nil, err
+					}
+					ev.RepairVerdict = rrep.Verdict.String()
+					if rrep.Verdict == repair.Repaired {
+						repaired++
+					}
+				}
 				job.Publish(ev)
 			}
 		}
@@ -750,7 +874,198 @@ func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
 			MeanDetectionLatency: stats.MeanDetectionLatency(),
 			Observations:         stats.Observations,
 			Dropped:              stats.Dropped,
+			Repaired:             repaired,
 		}, nil
+	})
+}
+
+// defaultRepairSample caps the modelled fault universe a repair dictionary
+// is built over when the request does not say (dictionary construction is
+// universe x items fault simulation, so paper-sized archs need the cap).
+const defaultRepairSample = 128
+
+// defaultRepairSpares is the per-core spare-line reservation when the
+// request does not say — enough budget to remap several fault clusters on
+// a fully used 256-wide core.
+const defaultRepairSpares = 8
+
+// repairClusterMods builds the injected defect of die i: a merge of
+// `clusters` consecutive sampled faults, the same convention faulty
+// monitor dies use.
+func repairClusterMods(faults []fault.Fault, values fault.Values, i, clusters int) *snn.Modifiers {
+	mods := make([]*snn.Modifiers, 0, clusters)
+	for c := 0; c < clusters; c++ {
+		f := faults[(i*clusters+c)%len(faults)]
+		mods = append(mods, f.Modifiers(values))
+	}
+	return snn.MergeModifiers(mods...)
+}
+
+// newRepairLoop assembles the closed-loop repair substrate over a cached
+// artifact: the artifact's test set and memoized ATE, the spec's
+// quantization transform, and a chip provisioned with spare lines.
+func newRepairLoop(art *Artifact, spec SuiteSpec, universe []fault.Fault, req repairRequest) (*repair.Loop, error) {
+	base, err := art.ATE()
+	if err != nil {
+		return nil, err
+	}
+	model := spec.Model()
+	return repair.New(repair.Config{
+		TS:              art.TestSet(),
+		Transform:       neurotest.QuantizeTransform(spec.Scheme),
+		Values:          model.Values,
+		Universe:        universe,
+		ATE:             base,
+		SpareAxons:      req.SpareAxons,
+		SpareNeurons:    req.SpareNeurons,
+		WeightBits:      req.WeightBits,
+		WorkloadSamples: req.WorkloadSamples,
+		Seed:            req.Seed,
+		Opt: repair.Options{
+			Margin:         req.Margin,
+			Tolerance:      req.Tolerance,
+			AccuracyBudget: req.AccuracyBudget,
+		},
+	})
+}
+
+// handleRepair runs the closed repair loop over a population of dies
+// carrying injected defect clusters: each die is tested, diagnosed against
+// the fault dictionary, remapped/bypassed onto spare lines, reprogrammed
+// and retested. Phase events stream as NDJSON while the job runs; the
+// terminal line carries recovered-yield and accuracy summaries.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req repairRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	spec, err := s.resolveSpec(req.generateRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Chips < 1 {
+		s.fail(w, badf("chips must be >= 1 (got %d)", req.Chips))
+		return
+	}
+	if req.Clusters < 0 || req.Clusters > 8 {
+		s.fail(w, badf("clusters must be in [0,8] (got %d)", req.Clusters))
+		return
+	}
+	if req.Sample < 0 || req.Sample > 2048 {
+		s.fail(w, badf("sample must be in [0,2048] (got %d; 0 = default %d)", req.Sample, defaultRepairSample))
+		return
+	}
+	if req.SpareAxons < 0 || req.SpareNeurons < 0 {
+		s.fail(w, badf("spare reservations must be >= 0 (got %d/%d)", req.SpareAxons, req.SpareNeurons))
+		return
+	}
+	if req.WeightBits != 0 && (req.WeightBits < 2 || req.WeightBits > 16) {
+		s.fail(w, badf("weight_bits must be in [2,16] (got %d; 0 = default 8)", req.WeightBits))
+		return
+	}
+	if req.WorkloadSamples < 0 || req.WorkloadSamples > 1024 {
+		s.fail(w, badf("workload_samples must be in [0,1024] (got %d; 0 = default 64)", req.WorkloadSamples))
+		return
+	}
+	if req.Margin < 0 || req.Tolerance < 0 || req.AccuracyBudget < 0 || req.AccuracyBudget > 1 {
+		s.fail(w, badf("margin, tolerance and accuracy_budget must be >= 0 (budget <= 1)"))
+		return
+	}
+	if req.Sample == 0 {
+		req.Sample = defaultRepairSample
+	}
+	if req.SpareAxons == 0 {
+		req.SpareAxons = defaultRepairSpares
+	}
+	if req.SpareNeurons == 0 {
+		req.SpareNeurons = defaultRepairSpares
+	}
+	s.submitJob(w, r, "repair", func(ctx context.Context, job *Job) (any, error) {
+		if err := s.dwell(ctx); err != nil {
+			return nil, err
+		}
+		ctx, root := obs.StartTrace(ctx, s.recorder, obs.TraceID(spec.Key()+"|repair"), "repair")
+		defer root.End()
+		_, gen := obs.StartSpan(ctx, "generate")
+		art, src, err := s.cache.Suite(spec)
+		gen.SetAttr("source", src.String())
+		gen.End()
+		if err != nil {
+			return nil, err
+		}
+		kinds := []fault.Kind{spec.Kind}
+		if spec.KindAll {
+			kinds = fault.Kinds()
+		}
+		universe := tester.SampleFaults(spec.Arch, kinds, req.Sample, req.Seed+41)
+		if len(universe) == 0 {
+			return nil, badf("empty fault universe for %v", spec.Arch)
+		}
+		// The substrate span covers the expensive one-offs: dictionary
+		// construction, workload training and chip programming.
+		_, sub := obs.StartSpan(ctx, "substrate")
+		loop, err := newRepairLoop(art, spec, universe, req)
+		sub.End()
+		if err != nil {
+			return nil, err
+		}
+		model := spec.Model()
+		res := repairJobResult{
+			SuiteKey: art.Key, Chips: req.Chips, Clusters: req.Clusters,
+			DictionaryFaults:  loop.Dictionary().Total(),
+			DictionaryClasses: loop.Dictionary().Classes(),
+		}
+		preShipped, shipped := 0, 0
+		for i := 0; i < req.Chips; i++ {
+			var defect *snn.Modifiers
+			if req.Clusters > 0 {
+				defect = repairClusterMods(universe, model.Values, i, req.Clusters)
+			}
+			chipIdx := i
+			rep, _, err := loop.Run(ctx, defect, func(ev repair.PhaseEvent) {
+				job.Publish(repairEvent{Event: "phase", Chip: chipIdx, Phase: ev.Phase, Detail: ev.Detail})
+			})
+			if err != nil {
+				return nil, err
+			}
+			switch rep.Verdict {
+			case repair.Healthy:
+				res.Healthy++
+			case repair.Repaired:
+				res.Repaired++
+			case repair.Degraded:
+				res.Degraded++
+			default:
+				res.Unrepairable++
+			}
+			if rep.PreFails == 0 {
+				preShipped++
+			}
+			if rep.Verdict == repair.Healthy || rep.Verdict == repair.Repaired {
+				shipped++
+			}
+			res.ColumnsRemapped += rep.ColumnsRemapped
+			res.RowsSwapped += rep.RowsSwapped
+			res.CellsBypassed += rep.CellsBypassed
+			res.CellsRetired += rep.CellsRetired
+			res.MeanGoldenAccuracy += rep.GoldenAccuracy
+			res.MeanPreAccuracy += rep.PreAccuracy
+			res.MeanPostAccuracy += rep.PostAccuracy
+			job.Publish(repairEvent{
+				Event: "verdict", Chip: i, Verdict: rep.Verdict.String(),
+				CellsRetired: rep.CellsRetired, PostFails: rep.PostFails,
+				PostAccuracy: rep.PostAccuracy,
+			})
+		}
+		n := float64(req.Chips)
+		res.UnrepairedYield = 100 * float64(preShipped) / n
+		res.RecoveredYield = 100 * float64(shipped) / n
+		res.MeanGoldenAccuracy /= n
+		res.MeanPreAccuracy /= n
+		res.MeanPostAccuracy /= n
+		repair.SetRecoveredYield(float64(shipped) / n)
+		return res, nil
 	})
 }
 
@@ -764,7 +1079,7 @@ func (s *Server) retryAfterSeconds() int {
 	if mean <= 0 {
 		return 1
 	}
-	est := float64(s.queue.Depth()) * mean / float64(maxInt(1, s.cfg.Workers))
+	est := float64(s.queue.Depth()) * mean / float64(max(1, s.cfg.Workers))
 	sec := int(math.Ceil(est))
 	if sec < 1 {
 		return 1
