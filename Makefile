@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=10s ./internal/pattern
 	$(GO) test -run='^$$' -fuzz=FuzzDetector -fuzztime=10s ./internal/online
 	$(GO) test -run='^$$' -fuzz=FuzzRepairPlan -fuzztime=10s ./internal/repair
+	$(GO) test -run='^$$' -fuzz=FuzzPackedEquivalence -fuzztime=10s ./internal/faultsim
 
 # bench runs the performance suite — the paper-evaluation benchmarks in the
 # root package plus the internal/obs instrument and internal/snn simulator
@@ -65,7 +66,7 @@ fuzz:
 # (e.g. 10x).
 BENCH ?= .
 BENCHTIME ?= 1s
-BENCHPKGS ?= . ./internal/obs ./internal/snn
+BENCHPKGS ?= . ./internal/obs ./internal/snn ./internal/faultsim
 bench:
 	@mkdir -p results
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchtime=$(BENCHTIME) -benchmem $(BENCHPKGS) | tee results/bench.txt

@@ -86,7 +86,14 @@ type goldenItem struct {
 	net    *snn.Network
 	trace  *snn.Trace
 	golden snn.Result
-	memo   memoShard
+	// gmp is the packed-kernel half of the trace store: gmp[k][t*width+j]
+	// is the golden membrane potential of neuron (k, j) *after* timestep t
+	// (post reset), for k >= 1. Replayed from trace.Y with the exact
+	// simulator update, so the values are bit-identical to the mp the
+	// simulator held — the packed kernel seeds a lane's potential from here
+	// the first time the lane's input deviates from the golden run.
+	gmp  [][]float64
+	memo memoShard
 }
 
 // Golden is the shared, read-mostly half of the incremental fault
@@ -120,18 +127,61 @@ func NewGolden(ts *pattern.TestSet, transform ConfigTransform) *Golden {
 	}
 	g.items = make([]goldenItem, 0, len(ts.Items))
 	for _, it := range ts.Items {
+		net := nets[it.ConfigIndex]
 		sim := sims[it.ConfigIndex]
 		golden, trace := sim.RunTrace(it.Pattern, it.Timesteps, it.Mode(), nil)
 		g.items = append(g.items, goldenItem{
 			item:   it,
-			net:    nets[it.ConfigIndex],
+			net:    net,
 			trace:  trace,
 			golden: golden,
+			gmp:    goldenPotentials(net, trace),
 			memo:   memoShard{m: make(map[memoKey]bool)},
 		})
 	}
 	return g
 }
+
+// goldenPotentials replays the recorded weighted sums through the LIF update
+// and records every neuron's membrane potential after each timestep. The
+// per-neuron recurrence is the simulator's own (mp = leak·mp + y, threshold,
+// reset), applied to the y values the simulator recorded, so the replay is
+// bit-identical to the state the golden run held.
+func goldenPotentials(net *snn.Network, trace *snn.Trace) [][]float64 {
+	arch := net.Arch
+	L := arch.Layers()
+	T := trace.Timesteps
+	theta := net.Params.Theta
+	leak := net.Params.Leak
+	subtract := net.Params.Reset == snn.ResetSubtract
+	gmp := make([][]float64, L)
+	for k := 1; k < L; k++ {
+		width := arch[k]
+		y := trace.Y[k]
+		m := make([]float64, T*width)
+		for j := 0; j < width; j++ {
+			var mp float64
+			for t := 0; t < T; t++ {
+				mp = leak*mp + y[t*width+j]
+				if mp > theta {
+					if subtract {
+						mp -= theta
+					} else {
+						mp = 0
+					}
+				}
+				m[t*width+j] = mp
+			}
+		}
+		gmp[k] = m
+	}
+	return gmp
+}
+
+// Result returns the golden (good-chip) observable output of item i. The
+// tester derives its expected responses from here instead of running a
+// second, identical simulation of each item.
+func (g *Golden) Result(i int) snn.Result { return g.items[i].golden }
 
 // NumItems returns the number of items in the golden's test set.
 func (g *Golden) NumItems() int { return len(g.items) }
@@ -151,6 +201,9 @@ type Evaluator struct {
 	spikes [][]bool
 	delta  []float64
 	counts []int
+	// ps is the packed-kernel scratch (see packed.go), allocated on the
+	// first batched evaluation and reused after that.
+	ps *packedScratch
 	// evaluator-local memo statistics, flushed to the obs counters once per
 	// fault evaluation (evaluators are single-goroutine worker scratch, so
 	// plain ints suffice on the hot path)
@@ -244,39 +297,39 @@ func (e *Evaluator) DetectingItemContext(ctx context.Context, f fault.Fault) (in
 	return -1, nil
 }
 
-// Coverage returns how many of the given faults the test set detects.
+// Coverage returns how many of the given faults the test set detects. It
+// routes through the packed bit-parallel kernel (see packed.go); the
+// fault-at-a-time Detects scan remains available as the reference path.
 func (e *Evaluator) Coverage(faults []fault.Fault) int {
-	n := 0
-	for _, f := range faults {
-		if e.Detects(f) {
-			n++
-		}
-	}
-	return n
+	return e.CoverageBatch(faults)
 }
 
-// Undetected returns the subset of faults no item detects, preserving order.
+// Undetected returns the subset of faults no item detects, preserving
+// order. Like Coverage it evaluates with the packed kernel.
 func (e *Evaluator) Undetected(faults []fault.Fault) []fault.Fault {
 	var out []fault.Fault
-	for _, f := range faults {
-		if !e.Detects(f) {
-			out = append(out, f)
+	for i, det := range e.DetectsBatch(faults) {
+		if !det {
+			out = append(out, faults[i])
 		}
 	}
 	return out
 }
 
-// detectsOn evaluates one fault against one cached item.
-func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
-	var layer, index int
-	var faultyTrain uint64
+// faultSite resolves a fault against one cached item: the deviating
+// neuron's (layer, index) and its faulty spike train. ok is false when the
+// fault is behaviourally inert on this item (input-layer threshold faults,
+// stuck-at-programmed-value weights, always-on zero weights) — the caller
+// must report it undetected without touching the trace. Both the scalar
+// reference path (detectsOn) and the packed kernel go through here, so the
+// five fault models have exactly one semantic definition.
+func (e *Evaluator) faultSite(ic *goldenItem, f fault.Fault) (layer, index int, faultyTrain uint64, ok bool) {
 	T := ic.item.Timesteps
-	full := fullMask(T)
 
 	switch f.Kind {
 	case fault.NASF:
 		layer, index = f.Neuron.Layer, f.Neuron.Index
-		faultyTrain = full
+		faultyTrain = fullMask(T)
 	case fault.ESF, fault.HSF:
 		layer, index = f.Neuron.Layer, f.Neuron.Index
 		if layer == 0 {
@@ -285,7 +338,7 @@ func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
 			// simulator's Modifiers contract ignores them, so such a fault
 			// is behaviourally inert. Report it undetectable instead of
 			// indexing the input layer's nonexistent weighted-sum trace.
-			return false
+			return 0, 0, 0, false
 		}
 		theta := e.values.ESFTheta
 		if f.Kind == fault.HSF {
@@ -297,7 +350,7 @@ func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
 		w := ic.net.Entry(f.Synapse.Boundary, f.Synapse.Pre, f.Synapse.Post)
 		dw := e.values.SWFOmega - w
 		if margin.IsZero(dw) {
-			return false // stuck at its programmed value: no behavioural change
+			return 0, 0, 0, false // stuck at its programmed value: no behavioural change
 		}
 		preTrain := ic.trace.X[f.Synapse.Boundary][f.Synapse.Pre]
 		delta := e.delta[:T]
@@ -312,7 +365,7 @@ func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
 		layer, index = f.Synapse.Boundary+1, f.Synapse.Post
 		w := ic.net.Entry(f.Synapse.Boundary, f.Synapse.Pre, f.Synapse.Post)
 		if margin.IsZero(w) {
-			return false // an always-spiking zero-weight synapse is invisible
+			return 0, 0, 0, false // an always-spiking zero-weight synapse is invisible
 		}
 		preTrain := ic.trace.X[f.Synapse.Boundary][f.Synapse.Pre]
 		delta := e.delta[:T]
@@ -326,20 +379,29 @@ func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
 	default:
 		panic("faultsim: unknown fault kind")
 	}
+	return layer, index, faultyTrain, true
+}
+
+// detectsOn evaluates one fault against one cached item. This is the scalar
+// reference path the packed kernel is differentially tested against.
+func (e *Evaluator) detectsOn(ic *goldenItem, f fault.Fault) bool {
+	layer, index, faultyTrain, ok := e.faultSite(ic, f)
+	if !ok {
+		return false
+	}
+
+	// A faulty train identical to the recorded golden train is behaviourally
+	// inert on this item: nothing downstream can change, so report
+	// undetected without running (or memoizing) a no-op propagation.
+	goodTrain := ic.trace.X[layer][index]
+	if faultyTrain == goodTrain {
+		return false
+	}
 
 	// NASF may sit on an input neuron in principle; the paper's universe
 	// excludes input neurons, but keep the engine total.
 	if layer == 0 {
-		goodTrain := ic.trace.X[0][index]
-		if faultyTrain == goodTrain {
-			return false
-		}
 		return e.downstream(ic, 0, index, faultyTrain)
-	}
-
-	goodTrain := ic.trace.X[layer][index]
-	if faultyTrain == goodTrain {
-		return false
 	}
 	L := e.g.ts.Arch.Layers()
 	if layer == L-1 {
@@ -434,10 +496,7 @@ func (e *Evaluator) downstream(ic *goldenItem, layer, index int, faultyTrain uin
 				if !pre[i] {
 					continue
 				}
-				row := w[i*nOut : (i+1)*nOut]
-				for j, wj := range row {
-					mp[j] += wj
-				}
+				snn.AddInto(mp, w[i*nOut:(i+1)*nOut])
 			}
 			for j := 0; j < nOut; j++ {
 				if mp[j] > theta {

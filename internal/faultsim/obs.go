@@ -82,9 +82,18 @@ func Snapshot() Stats {
 }
 
 // flushObs publishes one evaluation's accumulated memo statistics.
-func (e *Evaluator) flushObs() {
+func (e *Evaluator) flushObs() { e.flushObsN(1) }
+
+// flushObsN publishes the accumulated memo statistics of a batch of n
+// completed fault evaluations. Batch entry points (DetectsBatch, Coverage,
+// Undetected) flush exactly once per call — n faults and whatever memo
+// traffic the batch generated — so the process-wide counters account for
+// batched and fault-at-a-time campaigns identically.
+func (e *Evaluator) flushObsN(n int) {
 	ensureObs()
-	faultsSimulated.Inc()
+	if n > 0 {
+		faultsSimulated.Add(int64(n))
+	}
 	if e.pendingMemoHits > 0 {
 		memoHits.Add(int64(e.pendingMemoHits))
 		e.pendingMemoHits = 0

@@ -19,6 +19,10 @@ package lint
 // internal/repair is included because repair plans must be byte-identical
 // for the same diagnosis and chip config — the plan is the die's shipped
 // known-bad map and feeds the recovered-yield accounting.
+// internal/faultsim is included because fault verdicts feed coverage
+// tallies and the memoized downstream cache: a map-order or wall-clock
+// dependence in the packed kernel's lane assignment or group walk would
+// make coverage results run-dependent.
 func DeterministicPaths() []string {
 	return []string{
 		"neurotest",
@@ -26,6 +30,7 @@ func DeterministicPaths() []string {
 		"neurotest/internal/cluster",
 		"neurotest/internal/compact",
 		"neurotest/internal/core",
+		"neurotest/internal/faultsim",
 		"neurotest/internal/obs",
 		"neurotest/internal/online",
 		"neurotest/internal/pattern",

@@ -389,10 +389,7 @@ func (s *Simulator) run(pattern Pattern, timesteps int, mode InputMode, mods *Mo
 				if !pre[i] {
 					continue
 				}
-				row := w[i*nOut : (i+1)*nOut]
-				for j, wj := range row {
-					y[j] += wj
-				}
+				AddInto(y, w[i*nOut:(i+1)*nOut])
 			}
 			// Sparse corrections for stuck and always-on synapses, applied
 			// in sorted SynapseID order so the float64 sums are

@@ -190,7 +190,7 @@ func (a *ATE) RunChipSession(mods *snn.Modifiers, prof unreliable.Profile, vary 
 		if !ok {
 			return quarantine(i)
 		}
-		if a.matches(res, a.golden[i]) {
+		if a.matches(res, a.goldenResult(i)) {
 			continue
 		}
 		if policy.MaxRetests == 0 {
@@ -219,7 +219,7 @@ func (a *ATE) RunChipSession(mods *snn.Modifiers, prof unreliable.Profile, vary 
 			if !ok {
 				return quarantine(i)
 			}
-			if a.matches(res, a.golden[i]) {
+			if a.matches(res, a.goldenResult(i)) {
 				nPass++
 			} else {
 				nFail++

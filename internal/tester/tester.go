@@ -33,7 +33,12 @@ type ATE struct {
 	ts        *pattern.TestSet
 	transform faultsim.ConfigTransform
 	nets      []*snn.Network // transformed configuration per config index
-	golden    []snn.Result   // per item
+	// golden holds eagerly simulated per-item responses when the golden and
+	// chip transforms differ (NewSplit). ATEs built with New leave it nil
+	// and derive golden responses lazily from the shared fault-simulation
+	// Golden, whose good-chip traces double as the expected outputs — one
+	// simulation of each item serves both roles.
+	golden []snn.Result
 	// goldens memoizes the fault-simulation Golden (good-chip traces plus
 	// the downstream memo). It is held by pointer so tolerance clones share
 	// it: one golden build and one warm memo serve every campaign over this
@@ -121,8 +126,21 @@ func (a *ATE) matches(got, want snn.Result) bool {
 // New builds an ATE for ts. transform may be nil (ideal weights). Golden
 // responses and chips-under-test share the transform, the flow of a shop
 // that goldens against the post-quantization model.
+//
+// New itself simulates nothing: golden responses are derived on first use
+// from the same shared fault-simulation Golden the coverage campaigns read,
+// so the good-chip traces of a test program are simulated exactly once no
+// matter which campaign touches the ATE first.
 func New(ts *pattern.TestSet, transform faultsim.ConfigTransform) *ATE {
-	return NewSplit(ts, transform, transform)
+	a := &ATE{ts: ts, transform: transform, goldens: &goldenShare{}}
+	a.nets = make([]*snn.Network, len(ts.Configs))
+	for i, cfg := range ts.Configs {
+		a.nets[i] = cfg
+		if transform != nil {
+			a.nets[i] = transform(cfg)
+		}
+	}
+	return a
 }
 
 // NewSplit builds an ATE whose golden responses come from goldenTransform'd
@@ -160,7 +178,25 @@ func NewSplit(ts *pattern.TestSet, goldenTransform, chipTransform faultsim.Confi
 func (a *ATE) TestSet() *pattern.TestSet { return a.ts }
 
 // Golden returns the expected output of item i.
-func (a *ATE) Golden(i int) snn.Result { return a.golden[i] }
+func (a *ATE) Golden(i int) snn.Result { return a.goldenResult(i) }
+
+// goldenResult returns the expected output of item i. NewSplit ATEs read
+// their eagerly simulated responses; New ATEs derive the response from the
+// shared fault-simulation Golden, built on first use.
+func (a *ATE) goldenResult(i int) snn.Result {
+	if a.golden != nil {
+		return a.golden[i]
+	}
+	g, err := a.faultGolden()
+	if err != nil {
+		// Unreachable in practice: a nil-golden ATE's transform already ran
+		// over every configuration in New, so the lazy build cannot newly
+		// fail. Campaign pools recover this into a WorkerError.
+		//lint:ignore no-panic golden responses are a hard precondition of every campaign; pools recover
+		panic(err)
+	}
+	return g.Result(i)
+}
 
 // Verdict is the outcome of testing one chip.
 type Verdict struct {
@@ -201,7 +237,7 @@ func (a *ATE) RunChip(mods *snn.Modifiers, vary variation.Model, rng *stats.RNG)
 		}
 		res := sim.Run(it.Pattern, it.Timesteps, it.Mode(), mods)
 		v.ItemsRun++
-		if !a.matches(res, a.golden[i]) {
+		if !a.matches(res, a.goldenResult(i)) {
 			v.Passed = false
 			v.FailedItem = i
 			return v
@@ -329,40 +365,104 @@ func (a *ATE) MeasureCoverageContext(ctx context.Context, faults []fault.Fault, 
 		res.Errors = append(res.Errors, gerr)
 		return res, ctx.Err()
 	}
-	evals := make([]*faultsim.Evaluator, poolWorkers(len(faults)))
-	type verdict struct {
-		detected  bool
-		cancelled bool
-		err       error
+	// The pool claims faults in packed groups (same kind, same deviated
+	// layer, ≤64 per group): each group runs one bit-parallel downstream
+	// pass through the packed kernel instead of one scalar pass per fault.
+	// A group that panics falls back to fault-at-a-time scalar evaluation,
+	// so only the offending fault lands in Errors and the rest of its group
+	// still gets verdicts — the per-fault semantics of the scalar pool.
+	groups := faultsim.PackGroups(faults)
+	evals := make([]*faultsim.Evaluator, poolWorkers(len(groups)))
+	type groupVerdict struct {
+		detected  []bool  // aligned with groups[gi]
+		evaluated []bool  // verdict valid (not lost to cancellation)
+		errs      []error // recovered per-fault worker errors
 	}
-	verdicts, done := runWorkersCtx(ctx, len(faults), func(i, w int) (v verdict) {
-		defer func() {
-			if p := recover(); p != nil {
-				f := faults[i]
-				v.err = &WorkerError{Op: "coverage", Worker: w, Chip: -1, Fault: &f, Panic: p}
-				// Only the worker's scratch can be mid-mutation: discard the
-				// evaluator and rebuild it cheaply from the shared goldens.
-				evals[w] = nil
-			}
-		}()
-		if evals[w] == nil {
-			evals[w] = golden.NewEvaluator(values)
+	verdicts, done := runWorkersCtx(ctx, len(groups), func(gi, w int) (v groupVerdict) {
+		idx := groups[gi]
+		sub := make([]fault.Fault, len(idx))
+		for k, i := range idx {
+			sub[k] = faults[i]
 		}
-		det, err := evals[w].DetectsContext(ctx, faults[i])
-		if err != nil {
-			v.cancelled = true
+		batch := func() (out []bool, err error, ok bool) {
+			defer func() {
+				if p := recover(); p != nil {
+					// Only the worker's scratch can be mid-mutation: discard
+					// the evaluator and isolate the culprit fault-at-a-time.
+					evals[w] = nil
+					ok = false
+				}
+			}()
+			if evals[w] == nil {
+				evals[w] = golden.NewEvaluator(values)
+			}
+			out, err = evals[w].DetectsBatchContext(ctx, sub)
+			return out, err, true
+		}
+		if out, err, ok := batch(); ok {
+			if err != nil {
+				// Cancelled mid-group: none of this group's verdicts count.
+				return v
+			}
+			v.detected = out
+			v.evaluated = make([]bool, len(idx))
+			for k := range v.evaluated {
+				v.evaluated[k] = true
+			}
 			return v
 		}
-		v.detected = det
+		v.detected = make([]bool, len(idx))
+		v.evaluated = make([]bool, len(idx))
+		v.errs = make([]error, len(idx))
+		for k := range sub {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						f := sub[k]
+						v.errs[k] = &WorkerError{Op: "coverage", Worker: w, Chip: -1, Fault: &f, Panic: p}
+						evals[w] = nil
+					}
+				}()
+				if evals[w] == nil {
+					evals[w] = golden.NewEvaluator(values)
+				}
+				det, err := evals[w].DetectsContext(ctx, sub[k])
+				if err != nil {
+					return // cancelled: leave evaluated[k] false
+				}
+				v.detected[k] = det
+				v.evaluated[k] = true
+			}()
+		}
 		return v
 	})
-	for i, v := range verdicts {
+	// Scatter the group verdicts back to global fault order, so Detected,
+	// Undetected and Errors aggregate exactly like the scalar pool did.
+	detected := make([]bool, len(faults))
+	evaluated := make([]bool, len(faults))
+	errAt := make([]error, len(faults))
+	for gi, v := range verdicts {
+		if !done[gi] {
+			continue // group never claimed before cancellation
+		}
+		for k, i := range groups[gi] {
+			if v.errs != nil && v.errs[k] != nil {
+				errAt[i] = v.errs[k]
+				continue
+			}
+			if v.evaluated != nil && v.evaluated[k] {
+				evaluated[i] = true
+				detected[i] = v.detected[k]
+			}
+		}
+	}
+	for i := range faults {
 		switch {
-		case !done[i] || v.cancelled:
+		case errAt[i] != nil:
+			res.Errors = append(res.Errors, errAt[i])
+		case !evaluated[i]:
 			// Never evaluated (or aborted mid-scan) because of cancellation.
-		case v.err != nil:
-			res.Errors = append(res.Errors, v.err)
-		case v.detected:
+		case detected[i]:
 			res.Detected++
 		default:
 			res.Undetected = append(res.Undetected, faults[i])
